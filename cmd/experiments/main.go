@@ -1,0 +1,84 @@
+// Command experiments reproduces every evaluation artifact of the paper —
+// the behaviour of each figure and the complexity result — and prints the
+// paper-claim vs. measured table that EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	experiments [-exhaustive] [-seeds N] [-markdown] [-only E1,E8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exhaustive = flag.Bool("exhaustive", false, "run the expensive exhaustive proofs (notably on Figure 13)")
+		seeds      = flag.Int("seeds", 8, "random schedules / delay seeds per experiment")
+		markdown   = flag.Bool("markdown", false, "emit the EXPERIMENTS.md body")
+		only       = flag.String("only", "", "comma-separated experiment ids to run (default all)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Exhaustive: *exhaustive, Seeds: *seeds}
+	all := map[string]func(experiments.Options) experiments.Report{
+		"E1": experiments.E1Fig1a, "E2": experiments.E2Fig1b,
+		"E3": experiments.E3Fig2, "E4": experiments.E4Fig3,
+		"E5": experiments.E5VariableGadget, "E6": experiments.E6ClauseGadget,
+		"E7": experiments.E7Reduction, "E8": experiments.E8Walton,
+		"E9": experiments.E9Loop, "E10": experiments.E10Determinism,
+		"E11": experiments.E11Overhead, "E12": experiments.E12Flush,
+		"E13": experiments.E13LoopFree, "E14": experiments.E14Fig12, "E15": experiments.E15Adaptive,
+		"E16": experiments.E16Confederation, "E17": experiments.E17DeepHierarchy,
+		"E18": experiments.E18SyncConvergence, "E19": experiments.E19MultiPrefix,
+		"E20": experiments.E20MetricAdjustment, "E21": experiments.E21EBGPChurn,
+		"E22": experiments.E22MEDPrevalence,
+	}
+
+	var reports []experiments.Report
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			fn, ok := all[id]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q\n", id)
+				os.Exit(1)
+			}
+			reports = append(reports, fn(opts))
+		}
+	} else {
+		reports = experiments.All(opts)
+	}
+
+	if *markdown {
+		fmt.Print(experiments.Markdown(reports))
+	} else {
+		failed := 0
+		for _, r := range reports {
+			status := "PASS"
+			if !r.Pass {
+				status = "FAIL"
+				failed++
+			}
+			fmt.Printf("[%s] %-4s %s\n      claim:    %s\n      measured: %s\n",
+				status, r.ID, r.Artifact, r.Claim, r.Measured)
+			for _, t := range r.Tables {
+				fmt.Printf("      %s\n", t.Title)
+				fmt.Printf("        %s\n", strings.Join(t.Header, " | "))
+				for _, row := range t.Rows {
+					fmt.Printf("        %s\n", strings.Join(row, " | "))
+				}
+			}
+		}
+		if failed > 0 {
+			fmt.Printf("\n%d experiment(s) FAILED\n", failed)
+			os.Exit(1)
+		}
+		fmt.Printf("\nall %d experiments passed\n", len(reports))
+	}
+}

@@ -1,0 +1,119 @@
+// Command ibgpsim runs one protocol variant over a topology under a chosen
+// activation schedule or message-delay model and reports the outcome.
+//
+// Usage:
+//
+//	ibgpsim -topology sys.json [-policy classic|walton|modified]
+//	        [-order paper|rfc] [-med standard|always]
+//	        [-schedule roundrobin|allatonce|random] [-seed N]
+//	        [-max-steps N] [-trace] [-figure 1a|1b|2|3|12|13|14]
+//	        [-msgsim] [-delay N] [-jitter N]
+//
+// Either -topology or -figure selects the system. With -msgsim the
+// message-level simulator is used instead of the activation model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ibgp "repro"
+	"repro/internal/cli"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		topoPath = flag.String("topology", "", "topology JSON file")
+		figure   = flag.String("figure", "", "paper figure: 1a, 1b, 2, 3, 12, 13, 14")
+		policy   = flag.String("policy", "classic", "classic, walton, modified or adaptive")
+		order    = flag.String("order", "paper", "rule order: paper or rfc")
+		med      = flag.String("med", "standard", "MED mode: standard or always")
+		schedule = flag.String("schedule", "roundrobin", "roundrobin, allatonce or random")
+		seed     = flag.Int64("seed", 1, "seed for -schedule random and -jitter")
+		maxSteps = flag.Int("max-steps", 10000, "activation / event budget")
+		showTr   = flag.Bool("trace", false, "print per-event trace")
+		useMsg   = flag.Bool("msgsim", false, "use the message-level simulator")
+		delay    = flag.Int64("delay", 10, "msgsim: base message delay")
+		jitter   = flag.Int64("jitter", 0, "msgsim: random extra delay bound")
+		mrai     = flag.Int64("mrai", 0, "msgsim: minimum route advertisement interval (0 off)")
+	)
+	flag.Parse()
+
+	sys, err := cli.LoadSystem(*topoPath, *figure)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ibgpsim:", err)
+		os.Exit(1)
+	}
+	pol, err := cli.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ibgpsim:", err)
+		os.Exit(1)
+	}
+	opts, err := cli.ParseOptions(*order, *med)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ibgpsim:", err)
+		os.Exit(1)
+	}
+
+	if *useMsg {
+		runMsgsim(sys, pol, opts, *delay, *jitter, *mrai, *seed, *maxSteps, *showTr)
+		return
+	}
+
+	sch, err := cli.ParseSchedule(*schedule, sys.N(), *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ibgpsim:", err)
+		os.Exit(1)
+	}
+
+	eng := ibgp.NewEngine(sys, pol, opts)
+	rec := trace.NewRecorder(sys, 0)
+	if *showTr {
+		eng.Observe(rec.Hook())
+	}
+	res := ibgp.Run(eng, sch, ibgp.RunOptions{MaxSteps: *maxSteps})
+	if *showTr {
+		rec.WriteTo(os.Stdout)
+	}
+	fmt.Println(trace.ResultLine(pol, res))
+	if res.Outcome == ibgp.Converged {
+		fmt.Print(trace.Summary(sys, res.Final))
+		plane := ibgp.NewForwardingPlane(sys, res.Final)
+		if loops := plane.Loops(); len(loops) > 0 {
+			fmt.Printf("WARNING: forwarding loops at %d routers\n", len(loops))
+		}
+	}
+	if res.Outcome == ibgp.Cycled {
+		fmt.Printf("proved oscillation: state recurs with cycle length %d schedule periods\n", res.CycleLen)
+	}
+}
+
+func runMsgsim(sys *ibgp.System, pol ibgp.Policy, opts ibgp.Options, delay, jitter, mrai, seed int64, maxEvents int, showTrace bool) {
+	var df ibgp.DelayFunc
+	if jitter > 0 {
+		df = ibgp.RandomDelay(seed, delay, delay+jitter)
+	} else {
+		df = ibgp.ConstantDelay(delay)
+	}
+	s := ibgp.NewSim(sys, pol, opts, df)
+	s.SetMRAI(mrai)
+	if showTrace {
+		s.Observe(func(line string) { fmt.Println(line) })
+	}
+	s.InjectAll()
+	res := s.Run(maxEvents)
+	fmt.Printf("policy=%-8s quiesced=%-5v events=%-7d messages=%-7d flaps=%-6d t=%d\n",
+		pol, res.Quiesced, res.Events, res.Messages, res.Flaps, res.Time)
+	for u := 0; u < sys.N(); u++ {
+		best := "-"
+		if res.Best[u] != ibgp.None {
+			best = fmt.Sprintf("p%d", res.Best[u])
+		}
+		fmt.Printf("%-10s best=%s\n", sys.Name(ibgp.NodeID(u)), best)
+	}
+	if !res.Quiesced {
+		os.Exit(2)
+	}
+}

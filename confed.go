@@ -1,0 +1,51 @@
+package ibgp
+
+import (
+	"io"
+
+	"repro/internal/confed"
+)
+
+// Confederation substrate (package confed): the other full-mesh
+// alternative the paper discusses, with the same MED oscillation and — as
+// an extension — the same survivor-advertisement cure.
+type (
+	// Confederation is an AS partitioned into member sub-ASes.
+	Confederation = confed.System
+	// ConfedBuilder assembles a Confederation.
+	ConfedBuilder = confed.Builder
+	// ConfedEngine runs the activation model over a Confederation.
+	ConfedEngine = confed.Engine
+	// ConfedPolicy selects classic vs survivor advertisement.
+	ConfedPolicy = confed.Policy
+	// ConfedResult reports a confederation run.
+	ConfedResult = confed.Result
+)
+
+// Confederation policies.
+const (
+	// ConfedClassic announces only the best route across borders.
+	ConfedClassic = confed.Classic
+	// ConfedSurvivors announces every MED survivor (the paper's fix
+	// transplanted to confederations).
+	ConfedSurvivors = confed.Survivors
+)
+
+// NewConfedBuilder returns an empty confederation builder.
+func NewConfedBuilder() *ConfedBuilder { return confed.NewBuilder() }
+
+// NewConfedEngine returns a confed engine in the cold-start configuration.
+func NewConfedEngine(sys *Confederation, policy ConfedPolicy, opts Options) *ConfedEngine {
+	return confed.New(sys, policy, opts)
+}
+
+// RunConfed drives a confederation engine under a schedule.
+func RunConfed(e *ConfedEngine, sch Schedule, maxSteps int) ConfedResult {
+	return confed.Run(e, sch, maxSteps)
+}
+
+// SaveConfederation writes a Confederation as indented JSON.
+func SaveConfederation(w io.Writer, sys *Confederation) error { return confed.Save(w, sys) }
+
+// LoadConfederation reads a Confederation from its JSON form.
+func LoadConfederation(r io.Reader) (*Confederation, error) { return confed.Load(r) }

@@ -1,0 +1,101 @@
+// Package cli holds the option parsing shared by the command-line tools:
+// resolving a system from a topology file or a paper-figure name, and
+// parsing policy / schedule selections.
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/figures"
+	"repro/internal/protocol"
+	"repro/internal/selection"
+	"repro/internal/topology"
+)
+
+// Figures maps the figure names accepted by -figure flags.
+var Figures = map[string]func() *figures.Fig{
+	"1a": figures.Fig1a, "1b": figures.Fig1b, "2": figures.Fig2, "3": figures.Fig3,
+	"12": figures.Fig12, "13": figures.Fig13, "14": figures.Fig14,
+}
+
+// FigureNames returns the accepted -figure values, sorted.
+func FigureNames() []string {
+	return []string{"1a", "1b", "2", "3", "12", "13", "14"}
+}
+
+// LoadSystem resolves a System from exactly one of a topology JSON path or
+// a figure name.
+func LoadSystem(path, figure string) (*topology.System, error) {
+	switch {
+	case path != "" && figure != "":
+		return nil, fmt.Errorf("use either -topology or -figure, not both")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return topology.Load(f)
+	case figure != "":
+		fn, ok := Figures[figure]
+		if !ok {
+			return nil, fmt.Errorf("unknown figure %q (want one of %v)", figure, FigureNames())
+		}
+		return fn().Sys, nil
+	default:
+		return nil, fmt.Errorf("need -topology FILE or -figure N")
+	}
+}
+
+// ParsePolicy maps a -policy flag value.
+func ParsePolicy(s string) (protocol.Policy, error) {
+	switch s {
+	case "classic":
+		return protocol.Classic, nil
+	case "walton":
+		return protocol.Walton, nil
+	case "modified":
+		return protocol.Modified, nil
+	case "adaptive":
+		return protocol.Adaptive, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (want classic, walton, modified or adaptive)", s)
+	}
+}
+
+// ParseOptions maps -order and -med flag values.
+func ParseOptions(order, med string) (selection.Options, error) {
+	var opts selection.Options
+	switch order {
+	case "", "paper":
+	case "rfc":
+		opts.Order = selection.RFCOrder
+	default:
+		return opts, fmt.Errorf("unknown rule order %q (want paper or rfc)", order)
+	}
+	switch med {
+	case "", "standard":
+	case "always":
+		opts.MED = selection.AlwaysCompare
+	default:
+		return opts, fmt.Errorf("unknown MED mode %q (want standard or always)", med)
+	}
+	return opts, nil
+}
+
+// ParseSchedule maps a -schedule flag value to a schedule over n nodes.
+func ParseSchedule(s string, n int, seed int64) (protocol.Schedule, error) {
+	switch s {
+	case "", "roundrobin":
+		return protocol.RoundRobin(n), nil
+	case "allatonce":
+		return protocol.AllAtOnce(n), nil
+	case "random":
+		return protocol.PermutationRounds(n, seed), nil
+	case "subsets":
+		return protocol.SubsetRounds(n, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown schedule %q (want roundrobin, allatonce, random or subsets)", s)
+	}
+}

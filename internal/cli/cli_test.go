@@ -1,0 +1,157 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/confed"
+	"repro/internal/figures"
+	"repro/internal/protocol"
+	"repro/internal/selection"
+	"repro/internal/topology"
+)
+
+func TestLoadSystemFigure(t *testing.T) {
+	for _, name := range FigureNames() {
+		sys, err := LoadSystem("", name)
+		if err != nil {
+			t.Fatalf("figure %s: %v", name, err)
+		}
+		if sys.N() == 0 {
+			t.Fatalf("figure %s empty", name)
+		}
+	}
+	if _, err := LoadSystem("", "99"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestLoadSystemFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sys.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topology.Save(f, figures.Fig14().Sys); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	sys, err := LoadSystem(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.N() != 4 {
+		t.Fatalf("loaded %d nodes", sys.N())
+	}
+	if _, err := LoadSystem(filepath.Join(dir, "missing.json"), ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadSystemArgErrors(t *testing.T) {
+	if _, err := LoadSystem("x", "1a"); err == nil {
+		t.Fatal("both sources accepted")
+	}
+	if _, err := LoadSystem("", ""); err == nil {
+		t.Fatal("no source accepted")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	want := map[string]protocol.Policy{
+		"classic": protocol.Classic, "walton": protocol.Walton,
+		"modified": protocol.Modified, "adaptive": protocol.Adaptive,
+	}
+	for s, p := range want {
+		got, err := ParsePolicy(s)
+		if err != nil || got != p {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+func TestParseOptions(t *testing.T) {
+	opts, err := ParseOptions("rfc", "always")
+	if err != nil || opts.Order != selection.RFCOrder || opts.MED != selection.AlwaysCompare {
+		t.Fatalf("opts = %+v, %v", opts, err)
+	}
+	opts, err = ParseOptions("", "")
+	if err != nil || opts != (selection.Options{}) {
+		t.Fatalf("default opts = %+v, %v", opts, err)
+	}
+	if _, err := ParseOptions("weird", ""); err == nil {
+		t.Fatal("bad order accepted")
+	}
+	if _, err := ParseOptions("", "weird"); err == nil {
+		t.Fatal("bad MED mode accepted")
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	for _, s := range []string{"", "roundrobin", "allatonce", "random", "subsets"} {
+		sch, err := ParseSchedule(s, 3, 1)
+		if err != nil {
+			t.Fatalf("schedule %q: %v", s, err)
+		}
+		if got := sch.Next(); len(got) == 0 {
+			t.Fatalf("schedule %q produced empty set", s)
+		}
+	}
+	if _, err := ParseSchedule("bogus", 3, 1); err == nil {
+		t.Fatal("bogus schedule accepted")
+	}
+}
+
+// TestShippedTopologies: every topology JSON shipped under
+// examples/topologies must load and match its in-code figure (where one
+// exists).
+func TestShippedTopologies(t *testing.T) {
+	dir := "../../examples/topologies"
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no shipped topologies")
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "confed-") {
+			// Confederations have their own loader.
+			f, err := os.Open(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := confed.Load(f)
+			f.Close()
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name(), err)
+			}
+			if sys.N() == 0 {
+				t.Fatalf("%s: degenerate confederation", e.Name())
+			}
+			continue
+		}
+		sys, err := LoadSystem(filepath.Join(dir, e.Name()), "")
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if sys.N() == 0 || sys.NumExits() == 0 {
+			t.Fatalf("%s: degenerate system", e.Name())
+		}
+	}
+	// fig13.json must be the pinned Fig13 instance.
+	sys, err := LoadSystem(filepath.Join(dir, "fig13.json"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := figures.Fig13().Sys
+	if sys.N() != ref.N() || sys.NumExits() != ref.NumExits() {
+		t.Fatal("fig13.json diverged from the in-code figure")
+	}
+}

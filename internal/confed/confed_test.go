@@ -1,0 +1,291 @@
+package confed
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/protocol"
+	"repro/internal/selection"
+)
+
+// fig1aConfed is the confederation analogue of Figure 1(a), the RFC 3345
+// style configuration: sub-AS X holds border router A1 (no exits) and exit
+// owners a1 (r1: AS2, MED 0) and a2 (r2: AS1, MED 1); sub-AS Y holds
+// border router B1 and exit owner b1 (r3: AS1, MED 0). A1-B1 is the
+// confed-BGP session. IGP costs mirror Figure 1(a) exactly: A1-a1 = 5,
+// A1-a2 = 4, A1-B1 = 1, B1-b1 = 10.
+func fig1aConfed(t *testing.T) (*System, map[string]bgp.NodeID, map[string]bgp.PathID) {
+	t.Helper()
+	b := NewBuilder()
+	X := b.NewSubAS()
+	Y := b.NewSubAS()
+	A1 := b.Router("A1", X)
+	a1 := b.Router("a1", X)
+	a2 := b.Router("a2", X)
+	B1 := b.Router("B1", Y)
+	b1 := b.Router("b1", Y)
+	b.Link(A1, a1, 5).Link(A1, a2, 4).Link(a1, a2, 8).Link(A1, B1, 1).Link(B1, b1, 10)
+	b.ConfedSession(A1, B1)
+	r1 := b.Exit(a1, 0, 1, 2, 0, 0)
+	r2 := b.Exit(a2, 0, 1, 1, 1, 0)
+	r3 := b.Exit(b1, 0, 1, 1, 0, 0)
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys,
+		map[string]bgp.NodeID{"A1": A1, "a1": a1, "a2": a2, "B1": B1, "b1": b1},
+		map[string]bgp.PathID{"r1": r1, "r2": r2, "r3": r3}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	b := NewBuilder()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("empty confederation accepted")
+	}
+	b2 := NewBuilder()
+	s := b2.NewSubAS()
+	u := b2.Router("u", s)
+	v := b2.Router("v", s)
+	b2.Link(u, v, 1)
+	b2.ConfedSession(u, v) // same sub-AS: invalid
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("intra-sub-AS confed session accepted")
+	}
+	b3 := NewBuilder()
+	s3 := b3.NewSubAS()
+	b3.Router("u", s3)
+	b3.Router("u", s3)
+	if b3.err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	b4 := NewBuilder()
+	b4.Router("u", 7)
+	if b4.err == nil {
+		t.Fatal("unknown sub-AS accepted")
+	}
+}
+
+func TestSystemShape(t *testing.T) {
+	sys, n, _ := fig1aConfed(t)
+	if sys.NumSubAS() != 2 || sys.N() != 5 {
+		t.Fatalf("shape: %d sub-ASes, %d routers", sys.NumSubAS(), sys.N())
+	}
+	// Internal mesh within X.
+	for _, pair := range [][2]string{{"A1", "a1"}, {"A1", "a2"}, {"a1", "a2"}} {
+		found := false
+		for _, p := range sys.Peers(n[pair[0]]) {
+			if p == n[pair[1]] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing internal session %s-%s", pair[0], pair[1])
+		}
+	}
+	if !sys.IsConfedSession(n["A1"], n["B1"]) {
+		t.Fatal("missing confed session")
+	}
+	if sys.IsConfedSession(n["A1"], n["a1"]) {
+		t.Fatal("internal session misclassified as confed")
+	}
+	// No session across sub-ASes without an explicit confed session.
+	for _, p := range sys.Peers(n["a1"]) {
+		if sys.SubAS(p) != sys.SubAS(n["a1"]) {
+			t.Fatalf("a1 peers across the border: %d", p)
+		}
+	}
+}
+
+func TestConfedPersistentOscillation(t *testing.T) {
+	// The headline: the Figure 1(a) dynamics reproduce verbatim in a
+	// confederation — the field notice reported both deployments.
+	sys, _, _ := fig1aConfed(t)
+	e := New(sys, Classic, selection.Options{})
+	res := Run(e, protocol.RoundRobin(sys.N()), 5000)
+	if res.Outcome != protocol.Cycled {
+		t.Fatalf("outcome = %v, want cycled", res.Outcome)
+	}
+}
+
+func TestConfedSurvivorsConverge(t *testing.T) {
+	// The paper's fix, transplanted: advertising MED survivors settles the
+	// confederation too, and deterministically.
+	sys, n, p := fig1aConfed(t)
+	e := New(sys, Survivors, selection.Options{})
+	res := Run(e, protocol.RoundRobin(sys.N()), 5000)
+	if res.Outcome != protocol.Converged {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	// Mirror of the reflection outcome: A-side routers on r1, b1 keeps r3.
+	for _, name := range []string{"A1", "a1", "B1"} {
+		if res.Best[n[name]] != p["r1"] {
+			t.Fatalf("%s best = p%d, want r1", name, res.Best[n[name]])
+		}
+	}
+	if res.Best[n["b1"]] != p["r3"] {
+		t.Fatalf("b1 best = p%d, want its own E-BGP route", res.Best[n["b1"]])
+	}
+	// Schedule independence.
+	for seed := int64(1); seed <= 6; seed++ {
+		e2 := New(sys, Survivors, selection.Options{})
+		res2 := Run(e2, protocol.PermutationRounds(sys.N(), seed), 5000)
+		if res2.Outcome != protocol.Converged {
+			t.Fatalf("seed %d: %v", seed, res2.Outcome)
+		}
+		for u := range res2.Best {
+			if res2.Best[u] != res.Best[u] {
+				t.Fatalf("seed %d: outcome differs at node %d", seed, u)
+			}
+		}
+	}
+}
+
+func TestConfedMEDInduced(t *testing.T) {
+	// Equalising the MEDs removes the oscillation: rebuild with MED 0
+	// everywhere.
+	b := NewBuilder()
+	X := b.NewSubAS()
+	Y := b.NewSubAS()
+	A1 := b.Router("A1", X)
+	a1 := b.Router("a1", X)
+	a2 := b.Router("a2", X)
+	B1 := b.Router("B1", Y)
+	b1 := b.Router("b1", Y)
+	b.Link(A1, a1, 5).Link(A1, a2, 4).Link(a1, a2, 8).Link(A1, B1, 1).Link(B1, b1, 10)
+	b.ConfedSession(A1, B1)
+	b.Exit(a1, 0, 1, 2, 0, 0)
+	b.Exit(a2, 0, 1, 1, 0, 0) // MED 0 instead of 1
+	b.Exit(b1, 0, 1, 1, 0, 0)
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(sys, Classic, selection.Options{})
+	res := Run(e, protocol.RoundRobin(sys.N()), 5000)
+	if res.Outcome != protocol.Converged {
+		t.Fatalf("equal-MED confederation did not converge: %v", res.Outcome)
+	}
+	// always-compare-med also settles the original.
+	orig, _, _ := fig1aConfed(t)
+	e2 := New(orig, Classic, selection.Options{MED: selection.AlwaysCompare})
+	if res2 := Run(e2, protocol.RoundRobin(orig.N()), 5000); res2.Outcome != protocol.Converged {
+		t.Fatalf("always-compare-med did not converge: %v", res2.Outcome)
+	}
+}
+
+func TestConfedLoopPrevention(t *testing.T) {
+	// Three sub-ASes in a triangle: a route crossing X -> Y must not be
+	// re-imported into X via Z.
+	b := NewBuilder()
+	X := b.NewSubAS()
+	Y := b.NewSubAS()
+	Z := b.NewSubAS()
+	x := b.Router("x", X)
+	y := b.Router("y", Y)
+	z := b.Router("z", Z)
+	b.Link(x, y, 1).Link(y, z, 1).Link(z, x, 1)
+	b.ConfedSession(x, y)
+	b.ConfedSession(y, z)
+	b.ConfedSession(z, x)
+	p := b.Exit(x, 0, 1, 1, 0, 0)
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(sys, Classic, selection.Options{})
+	res := Run(e, protocol.RoundRobin(sys.N()), 2000)
+	if res.Outcome != protocol.Converged {
+		t.Fatalf("triangle did not converge: %v", res.Outcome)
+	}
+	for u := range res.Best {
+		if res.Best[u] != p {
+			t.Fatalf("node %d best = p%d", u, res.Best[u])
+		}
+	}
+	// The loop check was exercised: y learned p with seq [X] and z with
+	// seq [X, Y] or directly — either way no node holds a looped copy.
+	for u := 0; u < sys.N(); u++ {
+		for _, id := range e.PossibleIDs(bgp.NodeID(u)) {
+			ent := e.possible[u][id]
+			for _, s := range ent.seq {
+				if s == sys.SubAS(bgp.NodeID(u)) {
+					t.Fatalf("node %d holds a looped copy (seq %v)", u, ent.seq)
+				}
+			}
+		}
+	}
+}
+
+func TestConfedWithdrawFlushes(t *testing.T) {
+	sys, n, p := fig1aConfed(t)
+	e := New(sys, Survivors, selection.Options{})
+	Run(e, protocol.RoundRobin(sys.N()), 5000)
+	e.Withdraw(p["r3"])
+	res := Run(e, protocol.RoundRobin(sys.N()), 5000)
+	if res.Outcome != protocol.Converged {
+		t.Fatalf("outcome %v after withdrawal", res.Outcome)
+	}
+	for u := 0; u < sys.N(); u++ {
+		for _, id := range e.PossibleIDs(bgp.NodeID(u)) {
+			if id == p["r3"] {
+				t.Fatalf("node %d retains withdrawn r3", u)
+			}
+		}
+	}
+	if res.Best[n["b1"]] == p["r3"] {
+		t.Fatal("b1 still uses the withdrawn route")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Classic.String() != "classic" || Survivors.String() != "survivors" {
+		t.Fatal("Policy.String wrong")
+	}
+}
+
+func TestConfedJSONRoundTrip(t *testing.T) {
+	sys, _, _ := fig1aConfed(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys2.N() != sys.N() || sys2.NumSubAS() != sys.NumSubAS() || len(sys2.Exits()) != len(sys.Exits()) {
+		t.Fatal("shape changed over round trip")
+	}
+	for u := 0; u < sys.N(); u++ {
+		uid := bgp.NodeID(u)
+		if sys2.Name(uid) != sys.Name(uid) || sys2.SubAS(uid) != sys.SubAS(uid) {
+			t.Fatalf("node %d changed", u)
+		}
+		for v := 0; v < sys.N(); v++ {
+			vid := bgp.NodeID(v)
+			if sys.IsConfedSession(uid, vid) != sys2.IsConfedSession(uid, vid) {
+				t.Fatalf("confed session %d-%d changed", u, v)
+			}
+		}
+	}
+	// Behavioural equivalence: the oscillation survives the round trip.
+	res := Run(New(sys2, Classic, selection.Options{}), protocol.RoundRobin(sys2.N()), 5000)
+	if res.Outcome != protocol.Cycled {
+		t.Fatalf("reloaded confederation behaves differently: %v", res.Outcome)
+	}
+}
+
+func TestConfedJSONErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("{bad")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"unknown":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"subASes":[["a"]],"links":[{"a":"a","b":"ghost","cost":1}],"confedSessions":[],"exits":[]}`)); err == nil {
+		t.Fatal("unknown router accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full battery is slow")
+	}
+	reports := All(Options{Seeds: 4, SweepSizes: []int{2, 4}})
+	if len(reports) != 22 {
+		t.Fatalf("got %d reports, want 22", len(reports))
+	}
+	for _, r := range reports {
+		if !r.Pass {
+			t.Errorf("%s (%s) FAILED: %s", r.ID, r.Artifact, r.Measured)
+		}
+		if r.ID == "" || r.Claim == "" || r.Measured == "" {
+			t.Errorf("%s: incomplete report %+v", r.ID, r)
+		}
+	}
+}
+
+func TestIndividualExperiments(t *testing.T) {
+	opts := Options{Seeds: 3, SweepSizes: []int{2}}
+	cases := []struct {
+		name string
+		run  func(Options) Report
+	}{
+		{"E1", E1Fig1a}, {"E2", E2Fig1b}, {"E3", E3Fig2}, {"E4", E4Fig3},
+		{"E5", E5VariableGadget}, {"E6", E6ClauseGadget},
+		{"E9", E9Loop}, {"E10", E10Determinism},
+		{"E12", E12Flush}, {"E13", E13LoopFree}, {"E14", E14Fig12},
+		{"E15", E15Adaptive}, {"E16", E16Confederation},
+		{"E17", E17DeepHierarchy}, {"E18", E18SyncConvergence},
+		{"E20", E20MetricAdjustment}, {"E21", E21EBGPChurn},
+		{"E22", E22MEDPrevalence},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := tc.run(opts)
+			if !r.Pass {
+				t.Fatalf("%s failed: %s", r.ID, r.Measured)
+			}
+		})
+	}
+}
+
+func TestE7ReductionReport(t *testing.T) {
+	r := E7Reduction(Options{})
+	if !r.Pass {
+		t.Fatalf("E7 failed: %s", r.Measured)
+	}
+	if len(r.Tables) != 1 || len(r.Tables[0].Rows) == 0 {
+		t.Fatal("E7 table missing")
+	}
+}
+
+func TestE8WaltonSampling(t *testing.T) {
+	r := E8Walton(Options{Seeds: 3}) // non-exhaustive mode
+	if !r.Pass {
+		t.Fatalf("E8 failed: %s", r.Measured)
+	}
+	if !strings.Contains(r.Measured, "sampling") {
+		t.Fatalf("expected sampling note, got %q", r.Measured)
+	}
+}
+
+func TestE11OverheadTable(t *testing.T) {
+	r := E11Overhead(Options{Seeds: 2, SweepSizes: []int{2, 3}})
+	if !r.Pass {
+		t.Fatalf("E11 failed: %s", r.Measured)
+	}
+	// 2 sizes x 3 policies.
+	if len(r.Tables[0].Rows) != 6 {
+		t.Fatalf("table rows = %d, want 6", len(r.Tables[0].Rows))
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	reports := []Report{
+		{ID: "EX", Artifact: "art", Claim: "claim", Measured: "meas", Pass: true,
+			Tables: []Table{{Title: "T", Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}}}},
+		{ID: "EY", Artifact: "art2", Claim: "c2", Measured: "m2", Pass: false},
+	}
+	md := Markdown(reports)
+	for _, want := range []string{"| EX |", "PASS", "FAIL", "### EX — T", "| a | b |", "| 1 | 2 |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestE19MultiPrefixTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("uses real TCP sessions")
+	}
+	r := E19MultiPrefix(Options{Seeds: 2})
+	if !r.Pass {
+		t.Fatalf("E19 failed: %s", r.Measured)
+	}
+}
+
+func TestE4TableOneReproduction(t *testing.T) {
+	r := E4Fig3(Options{Seeds: 2})
+	if !r.Pass {
+		t.Fatalf("E4 failed: %s", r.Measured)
+	}
+	if len(r.Tables) != 1 || len(r.Tables[0].Rows) < 10 {
+		t.Fatalf("reproduced Table 1 missing or too short: %d rows", len(r.Tables[0].Rows))
+	}
+}

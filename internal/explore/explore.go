@@ -1,0 +1,202 @@
+// Package explore decides stability questions for small systems
+// exhaustively. The paper's STABLE I-BGP WITH ROUTE REFLECTION problem asks
+// whether, from the cold-start configuration, *some* fair activation
+// sequence reaches a configuration that never changes again. For small
+// systems this is decidable by breadth-first search over the reachable
+// configuration graph; the package also enumerates classic-I-BGP stable
+// solutions globally (reachable or not) by fixed-point search over
+// advertisement assignments.
+package explore
+
+import (
+	"repro/internal/bgp"
+	"repro/internal/protocol"
+)
+
+// SuccessorMode selects which activation sets generate transitions in the
+// reachable-state search.
+type SuccessorMode int
+
+const (
+	// Singletons activates one node at a time. Cheapest; sufficient for
+	// most systems, but simultaneous activations can reach extra states.
+	Singletons SuccessorMode = iota
+	// SingletonsPlusAll additionally activates the full node set at once.
+	SingletonsPlusAll
+	// AllSubsets activates every non-empty subset of nodes (2^n - 1
+	// successors per state); exact for the paper's activation-set
+	// semantics, feasible only for small n.
+	AllSubsets
+)
+
+// Analysis is the result of a reachable-state search.
+type Analysis struct {
+	// States is the number of distinct configurations visited.
+	States int
+	// Transitions is the number of edges explored.
+	Transitions int
+	// FixedPoints are the reachable stable configurations, in discovery
+	// order.
+	FixedPoints []protocol.Snapshot
+	// Truncated is true when the state or step limit was hit; the answer
+	// is then only a lower bound.
+	Truncated bool
+}
+
+// Stabilizable reports the paper's decision question: is some stable
+// configuration reachable? Only meaningful when !Truncated.
+func (a Analysis) Stabilizable() bool { return len(a.FixedPoints) > 0 }
+
+// Options tunes Reachable.
+type Options struct {
+	// Mode selects the successor relation (default Singletons).
+	Mode SuccessorMode
+	// MaxStates bounds the search (default 200000).
+	MaxStates int
+}
+
+// Reachable explores every configuration reachable from the engine's
+// current configuration. The engine is restored to its starting
+// configuration before returning.
+func Reachable(e *protocol.Engine, opts Options) Analysis {
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = 200000
+	}
+	n := e.Sys().N()
+	start := e.Snapshot()
+	defer e.RestoreSnapshot(start)
+
+	var sets [][]bgp.NodeID
+	switch opts.Mode {
+	case AllSubsets:
+		for mask := 1; mask < 1<<n; mask++ {
+			var set []bgp.NodeID
+			for u := 0; u < n; u++ {
+				if mask&(1<<u) != 0 {
+					set = append(set, bgp.NodeID(u))
+				}
+			}
+			sets = append(sets, set)
+		}
+	case SingletonsPlusAll:
+		for u := 0; u < n; u++ {
+			sets = append(sets, []bgp.NodeID{bgp.NodeID(u)})
+		}
+		all := make([]bgp.NodeID, n)
+		for u := range all {
+			all[u] = bgp.NodeID(u)
+		}
+		sets = append(sets, all)
+	default:
+		for u := 0; u < n; u++ {
+			sets = append(sets, []bgp.NodeID{bgp.NodeID(u)})
+		}
+	}
+
+	a := Analysis{}
+	seen := map[string]bool{}
+	type qent struct {
+		snap protocol.Snapshot
+		key  string
+	}
+	startKey := e.StateKey()
+	queue := []qent{{snap: start, key: startKey}}
+	seen[startKey] = true
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		a.States++
+		if a.States > maxStates {
+			a.Truncated = true
+			break
+		}
+		e.RestoreSnapshot(cur.snap)
+		if e.Stable() {
+			a.FixedPoints = append(a.FixedPoints, cur.snap)
+			// A fixed point has only self-loop successors; skip expanding.
+			continue
+		}
+		for _, set := range sets {
+			e.RestoreSnapshot(cur.snap)
+			e.ActivateSet(set)
+			a.Transitions++
+			key := e.StateKey()
+			if !seen[key] {
+				seen[key] = true
+				queue = append(queue, qent{snap: e.Snapshot(), key: key})
+			}
+		}
+	}
+	if len(queue) > 0 {
+		a.Truncated = true
+	}
+	return a
+}
+
+// StableEnumeration is the result of EnumerateStableClassic.
+type StableEnumeration struct {
+	// Solutions holds every stable configuration of the system under
+	// classic I-BGP, as snapshots.
+	Solutions []protocol.Snapshot
+	// Candidates is the number of advertisement assignments examined.
+	Candidates int
+	// Truncated is true when the budget was exhausted; the enumeration is
+	// then incomplete.
+	Truncated bool
+}
+
+// EnumerateStableClassic enumerates every stable solution of the system
+// under the Classic policy, reachable or not, by searching the space of
+// advertisement assignments (under classic I-BGP each node advertises at
+// most one exit path, so a configuration is determined by one PathID or
+// None per node). budget bounds the number of assignments tried; 0 means
+// 4,000,000. The engine must use the Classic policy; it is restored before
+// returning.
+func EnumerateStableClassic(e *protocol.Engine, budget int) StableEnumeration {
+	if budget <= 0 {
+		budget = 4_000_000
+	}
+	start := e.Snapshot()
+	defer e.RestoreSnapshot(start)
+
+	n := e.Sys().N()
+	// Candidate advertised paths per node: anything receivable there, or
+	// nothing.
+	cand := make([][]bgp.PathID, n)
+	for u := 0; u < n; u++ {
+		ids := e.ReceivablePaths(bgp.NodeID(u)).IDs()
+		cand[u] = append([]bgp.PathID{bgp.None}, ids...)
+	}
+
+	res := StableEnumeration{}
+	idx := make([]int, n)
+	adv := make([]bgp.PathSet, n)
+	for {
+		res.Candidates++
+		if res.Candidates > budget {
+			res.Truncated = true
+			return res
+		}
+		for u := 0; u < n; u++ {
+			adv[u] = bgp.NewPathSet(cand[u][idx[u]])
+		}
+		if e.InducedConfig(adv) && e.Stable() {
+			res.Solutions = append(res.Solutions, e.Snapshot())
+		}
+		// Advance the mixed-radix counter.
+		u := 0
+		for u < n {
+			idx[u]++
+			if idx[u] < len(cand[u]) {
+				break
+			}
+			idx[u] = 0
+			u++
+		}
+		if u == n {
+			return res
+		}
+	}
+}

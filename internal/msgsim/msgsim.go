@@ -1,0 +1,457 @@
+// Package msgsim is a message-level discrete-event simulator of I-BGP with
+// route reflection. Unlike package protocol — which implements the paper's
+// abstract activation model — msgsim models the operational protocol:
+// routers keep per-peer Adj-RIB-In state (package rib), exchange explicit
+// announce and withdraw messages over per-session FIFO channels, and apply
+// the route-reflection announcement rules of Section 2 based on *how each
+// route was learned* (E-BGP peer, client peer, or non-client peer).
+//
+// Message delays are pluggable and may be scripted, which reproduces the
+// Figure 3 / Table 1 executions where timing alone decides whether the
+// system oscillates and which stable solution it reaches.
+package msgsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/bgp"
+	"repro/internal/protocol"
+	"repro/internal/rib"
+	"repro/internal/selection"
+	"repro/internal/topology"
+)
+
+// DelayFunc returns the transit delay of the seq-th message sent on the
+// session from -> to. Delays must be non-negative; FIFO order per session
+// is enforced regardless of the returned values.
+type DelayFunc func(from, to bgp.NodeID, seq int) int64
+
+// ConstantDelay returns a DelayFunc with a fixed delay for every message.
+func ConstantDelay(d int64) DelayFunc {
+	return func(bgp.NodeID, bgp.NodeID, int) int64 { return d }
+}
+
+// RandomDelay returns a seeded DelayFunc with delays uniform in [min, max].
+func RandomDelay(seed, min, max int64) DelayFunc {
+	rng := rand.New(rand.NewSource(seed))
+	return func(bgp.NodeID, bgp.NodeID, int) int64 {
+		if max <= min {
+			return min
+		}
+		return min + rng.Int63n(max-min+1)
+	}
+}
+
+// event is a queued simulator event.
+type event struct {
+	time int64
+	seq  int // global tie-break for determinism
+	kind eventKind
+	// message fields: parallel announce/withdraw lists with their prefixes
+	from, to bgp.NodeID
+	announce []prefixed
+	withdraw []prefixed
+	// external fields
+	prefix uint32
+	path   bgp.PathID
+}
+
+// prefixed tags a path with its destination prefix.
+type prefixed struct {
+	prefix uint32
+	id     bgp.PathID
+}
+
+// renderPath formats a PathID for traces.
+func renderPath(id bgp.PathID) string {
+	if id == bgp.None {
+		return "(none)"
+	}
+	return fmt.Sprintf("p%d", id)
+}
+
+// renderPrefixed formats a prefixed path list for traces; the prefix tag
+// is shown only in multi-prefix simulations.
+func renderPrefixed(ps []prefixed, multi bool) string {
+	parts := make([]string, len(ps))
+	for i, pr := range ps {
+		if multi {
+			parts[i] = fmt.Sprintf("%d/p%d", pr.prefix, pr.id)
+		} else {
+			parts[i] = fmt.Sprintf("p%d", pr.id)
+		}
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+type eventKind int
+
+const (
+	evMessage eventKind = iota
+	evInject
+	evWithdraw
+	// evFlush fires when a session's MRAI window reopens: the sender
+	// re-evaluates what it owes that peer and sends the coalesced diff.
+	evFlush
+)
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Sim is one simulation run. It is not safe for concurrent use. Like the
+// TCP speakers, a Sim can carry several destination prefixes over one
+// session graph; the single-prefix constructors use prefix 0.
+type Sim struct {
+	sys      *topology.System
+	systems  map[uint32]*topology.System
+	prefixes []uint32
+	delay    DelayFunc
+
+	ribs  []map[uint32]*rib.RIB // per node, per prefix
+	queue eventHeap
+	seq   int
+
+	sentSeq map[[2]bgp.NodeID]int   // per-session sent counter
+	lastArr map[[2]bgp.NodeID]int64 // per-session last delivery time (FIFO clamp)
+
+	// MRAI state: minimum interval between UPDATEs on one session; 0
+	// disables. nextSend is the earliest next send time per session;
+	// flushing marks sessions with a scheduled reopen event.
+	mrai     int64
+	nextSend map[[2]bgp.NodeID]int64
+	flushing map[[2]bgp.NodeID]bool
+
+	now      int64
+	events   int
+	msgs     int
+	flaps    int
+	observer func(string)
+}
+
+// New creates a simulator over sys with the given advertisement policy,
+// selection options and delay model. Exit paths enter the system only via
+// InjectAll or InjectAt.
+func New(sys *topology.System, policy protocol.Policy, opts selection.Options, delay DelayFunc) *Sim {
+	return NewMulti(map[uint32]*topology.System{0: sys}, policy, opts, delay)
+}
+
+// NewMulti creates a simulator carrying one prefix per entry of systems;
+// all systems must share the identical topology and differ only in their
+// exit paths (as with speaker.NewMulti). The first (lowest) prefix's
+// system provides the session graph.
+func NewMulti(systems map[uint32]*topology.System, policy protocol.Policy, opts selection.Options, delay DelayFunc) *Sim {
+	var prefixes []uint32
+	for p := range systems {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
+	if len(prefixes) == 0 {
+		panic("msgsim: no prefixes")
+	}
+	base := systems[prefixes[0]]
+	s := &Sim{
+		sys:      base,
+		systems:  systems,
+		prefixes: prefixes,
+		delay:    delay,
+		sentSeq:  map[[2]bgp.NodeID]int{},
+		lastArr:  map[[2]bgp.NodeID]int64{},
+		nextSend: map[[2]bgp.NodeID]int64{},
+		flushing: map[[2]bgp.NodeID]bool{},
+	}
+	for u := 0; u < base.N(); u++ {
+		m := map[uint32]*rib.RIB{}
+		for _, p := range prefixes {
+			m[p] = rib.New(systems[p], policy, opts, bgp.NodeID(u))
+		}
+		s.ribs = append(s.ribs, m)
+	}
+	return s
+}
+
+// Observe registers a line-oriented trace callback.
+func (s *Sim) Observe(fn func(string)) { s.observer = fn }
+
+// SetMRAI sets the per-session minimum route advertisement interval, the
+// BGP mechanism that coalesces rapid update bursts (0 disables it, the
+// default). MRAI damps transient oscillations — it merges an announcement
+// with its own correction — but cannot create stability where no stable
+// solution exists.
+func (s *Sim) SetMRAI(d int64) {
+	if d < 0 {
+		d = 0
+	}
+	s.mrai = d
+}
+
+func (s *Sim) tracef(format string, args ...interface{}) {
+	if s.observer != nil {
+		s.observer(fmt.Sprintf("t=%-6d %s", s.now, fmt.Sprintf(format, args...)))
+	}
+}
+
+// InjectAt schedules the E-BGP injection of a prefix-0 path.
+func (s *Sim) InjectAt(time int64, id bgp.PathID) { s.InjectPrefixAt(time, 0, id) }
+
+// InjectPrefixAt schedules the E-BGP injection of one prefix's path.
+func (s *Sim) InjectPrefixAt(time int64, prefix uint32, id bgp.PathID) {
+	s.push(&event{time: time, kind: evInject, prefix: prefix, path: id})
+}
+
+// WithdrawAt schedules the E-BGP withdrawal of a prefix-0 path.
+func (s *Sim) WithdrawAt(time int64, id bgp.PathID) { s.WithdrawPrefixAt(time, 0, id) }
+
+// WithdrawPrefixAt schedules the E-BGP withdrawal of one prefix's path.
+func (s *Sim) WithdrawPrefixAt(time int64, prefix uint32, id bgp.PathID) {
+	s.push(&event{time: time, kind: evWithdraw, prefix: prefix, path: id})
+}
+
+// InjectAll schedules every exit path of every prefix at time 0.
+func (s *Sim) InjectAll() {
+	for _, prefix := range s.prefixes {
+		for _, p := range s.systems[prefix].Exits() {
+			s.InjectPrefixAt(0, prefix, p.ID)
+		}
+	}
+}
+
+func (s *Sim) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
+}
+
+// refresh recomputes a router's best routes on every prefix and sends its
+// owed UPDATEs, subject to per-session MRAI gating.
+func (s *Sim) refresh(u bgp.NodeID) {
+	for _, prefix := range s.prefixes {
+		r := s.ribs[u][prefix]
+		oldBest := r.Best()
+		if r.RecomputeBest() {
+			s.flaps++
+			if s.observer != nil {
+				tag := ""
+				if len(s.prefixes) > 1 {
+					tag = fmt.Sprintf("[%d]", prefix)
+				}
+				s.tracef("%s best%s: %s -> %s", s.sys.Name(u), tag,
+					renderPath(oldBest), renderPath(r.Best()))
+			}
+		}
+	}
+	for _, w := range s.sys.Peers(u) {
+		s.flushPeer(u, w)
+	}
+}
+
+// flushPeer sends the UPDATE owed to one peer — coalescing every prefix —
+// if the session's MRAI window is open; otherwise it schedules a flush for
+// when the window reopens.
+func (s *Sim) flushPeer(u, w bgp.NodeID) {
+	owed := false
+	for _, prefix := range s.prefixes {
+		r := s.ribs[u][prefix]
+		if !r.TargetFor(w).Equal(r.LastSent(w)) {
+			owed = true
+			break
+		}
+	}
+	if !owed {
+		return
+	}
+	key := [2]bgp.NodeID{u, w}
+	if s.mrai > 0 && s.now < s.nextSend[key] {
+		if !s.flushing[key] {
+			s.flushing[key] = true
+			s.push(&event{time: s.nextSend[key], kind: evFlush, from: u, to: w})
+			s.tracef("%s -> %s update deferred by MRAI until t=%d",
+				s.sys.Name(u), s.sys.Name(w), s.nextSend[key])
+		}
+		return
+	}
+	var ann, wd []prefixed
+	for _, prefix := range s.prefixes {
+		r := s.ribs[u][prefix]
+		a, d := r.CommitSend(w, r.TargetFor(w))
+		for _, id := range a {
+			ann = append(ann, prefixed{prefix, id})
+		}
+		for _, id := range d {
+			wd = append(wd, prefixed{prefix, id})
+		}
+	}
+	if len(ann) == 0 && len(wd) == 0 {
+		return
+	}
+	s.nextSend[key] = s.now + s.mrai
+	s.send(u, w, ann, wd)
+}
+
+// send enqueues one UPDATE on the session from -> to, respecting FIFO order.
+func (s *Sim) send(from, to bgp.NodeID, announce, withdraw []prefixed) {
+	key := [2]bgp.NodeID{from, to}
+	n := s.sentSeq[key]
+	s.sentSeq[key] = n + 1
+	d := s.delay(from, to, n)
+	if d < 0 {
+		d = 0
+	}
+	at := s.now + d
+	if last := s.lastArr[key]; at < last {
+		at = last // FIFO: never overtake an earlier message
+	}
+	s.lastArr[key] = at
+	s.msgs++
+	if s.observer != nil {
+		s.tracef("%s -> %s announce=%s withdraw=%s (arrives t=%d)",
+			s.sys.Name(from), s.sys.Name(to), renderPrefixed(announce, len(s.prefixes) > 1),
+			renderPrefixed(withdraw, len(s.prefixes) > 1), at)
+	}
+	s.push(&event{time: at, kind: evMessage, from: from, to: to, announce: announce, withdraw: withdraw})
+}
+
+// Result reports one simulation run.
+type Result struct {
+	// Quiesced is true when the event queue drained: no messages in
+	// flight, a stable operational state.
+	Quiesced bool
+	// Events is the number of events processed.
+	Events int
+	// Messages is the number of UPDATE messages sent.
+	Messages int
+	// Flaps counts best-route changes across all routers.
+	Flaps int
+	// Time is the virtual clock at the end.
+	Time int64
+	// Best is the final best path per router.
+	Best []bgp.PathID
+}
+
+// target returns the router an event mutates.
+func (s *Sim) target(ev *event) bgp.NodeID {
+	switch ev.kind {
+	case evMessage:
+		return ev.to
+	case evFlush:
+		return ev.from
+	default:
+		return s.systems[ev.prefix].Exit(ev.path).ExitPoint
+	}
+}
+
+// apply mutates router state for one event without recomputing routes.
+func (s *Sim) apply(ev *event) {
+	switch ev.kind {
+	case evInject:
+		p := s.systems[ev.prefix].Exit(ev.path)
+		s.tracef("%s learns p%d via E-BGP", s.sys.Name(p.ExitPoint), ev.path)
+		s.ribs[p.ExitPoint][ev.prefix].Inject(ev.path)
+	case evWithdraw:
+		p := s.systems[ev.prefix].Exit(ev.path)
+		s.tracef("%s loses p%d via E-BGP", s.sys.Name(p.ExitPoint), ev.path)
+		s.ribs[p.ExitPoint][ev.prefix].WithdrawExternal(ev.path)
+	case evMessage:
+		ann := map[uint32][]bgp.PathID{}
+		wd := map[uint32][]bgp.PathID{}
+		for _, pr := range ev.announce {
+			ann[pr.prefix] = append(ann[pr.prefix], pr.id)
+		}
+		for _, pr := range ev.withdraw {
+			wd[pr.prefix] = append(wd[pr.prefix], pr.id)
+		}
+		for _, prefix := range s.prefixes {
+			if len(ann[prefix]) > 0 || len(wd[prefix]) > 0 {
+				s.ribs[ev.to][prefix].ApplyUpdate(ev.from, ann[prefix], wd[prefix])
+			}
+		}
+	case evFlush:
+		s.flushing[[2]bgp.NodeID{ev.from, ev.to}] = false
+	}
+}
+
+// Run processes events until quiescence or until maxEvents events have been
+// handled (a divergence guard: classic I-BGP may never quiesce).
+//
+// A router drains every event that has already arrived (same virtual
+// instant) before recomputing routes and announcing, mirroring a real BGP
+// speaker emptying its input queue before running decision and update
+// processing. Events for the same router at the same instant therefore
+// coalesce; events at distinct instants interleave and can produce the
+// transient oscillations of Figure 3.
+func (s *Sim) Run(maxEvents int) Result {
+	if maxEvents <= 0 {
+		maxEvents = 100000
+	}
+	for len(s.queue) > 0 && s.events < maxEvents {
+		ev := heap.Pop(&s.queue).(*event)
+		s.now = ev.time
+		s.events++
+		who := s.target(ev)
+		s.apply(ev)
+		// Batch: drain all same-instant events destined to this router.
+		for len(s.queue) > 0 && s.queue[0].time == ev.time && s.target(s.queue[0]) == who {
+			next := heap.Pop(&s.queue).(*event)
+			s.events++
+			s.apply(next)
+		}
+		s.refresh(who)
+	}
+	res := Result{
+		Quiesced: len(s.queue) == 0,
+		Events:   s.events,
+		Messages: s.msgs,
+		Flaps:    s.flaps,
+		Time:     s.now,
+		Best:     make([]bgp.PathID, len(s.ribs)),
+	}
+	for i := range s.ribs {
+		res.Best[i] = s.ribs[i][s.prefixes[0]].Best()
+	}
+	return res
+}
+
+// Best returns router u's current best path for the first prefix.
+func (s *Sim) Best(u bgp.NodeID) bgp.PathID { return s.ribs[u][s.prefixes[0]].Best() }
+
+// BestFor returns router u's current best path for one prefix.
+func (s *Sim) BestFor(prefix uint32, u bgp.NodeID) bgp.PathID {
+	if r, ok := s.ribs[u][prefix]; ok {
+		return r.Best()
+	}
+	return bgp.None
+}
+
+// Possible returns router u's candidate set for the first prefix.
+func (s *Sim) Possible(u bgp.NodeID) bgp.PathSet { return s.ribs[u][s.prefixes[0]].Possible() }
+
+// Upgraded reports whether router u switched to survivor advertisement for
+// one prefix under the Adaptive policy.
+func (s *Sim) Upgraded(prefix uint32, u bgp.NodeID) bool {
+	if r, ok := s.ribs[u][prefix]; ok {
+		return r.Upgraded()
+	}
+	return false
+}
+
+// Now returns the virtual clock.
+func (s *Sim) Now() int64 { return s.now }

@@ -1,0 +1,131 @@
+package msgsim
+
+import (
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/protocol"
+	"repro/internal/selection"
+	"repro/internal/topology"
+)
+
+// buildFig1aWith constructs the Figure 1(a) topology with a caller-chosen
+// exit table (mirrors the speaker multi-prefix fixture).
+func buildFig1aWith(t *testing.T, addExits func(b *topology.Builder, n map[string]bgp.NodeID)) (*topology.System, map[string]bgp.NodeID) {
+	t.Helper()
+	b := topology.NewBuilder()
+	cA := b.NewCluster()
+	cB := b.NewCluster()
+	n := map[string]bgp.NodeID{}
+	n["A"] = b.Reflector("A", cA)
+	n["a1"] = b.Client("a1", cA)
+	n["a2"] = b.Client("a2", cA)
+	n["B"] = b.Reflector("B", cB)
+	n["b1"] = b.Client("b1", cB)
+	b.Link(n["A"], n["a1"], 5).Link(n["A"], n["a2"], 4)
+	b.Link(n["A"], n["B"], 1).Link(n["B"], n["b1"], 10)
+	addExits(b, n)
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, n
+}
+
+func twoPrefixSim(t *testing.T, policy protocol.Policy, delay DelayFunc) (*Sim, map[string]bgp.NodeID) {
+	t.Helper()
+	hot, nodes := buildFig1aWith(t, func(b *topology.Builder, n map[string]bgp.NodeID) {
+		b.Exit(n["a1"], topology.ExitSpec{NextAS: 2, MED: 0})
+		b.Exit(n["a2"], topology.ExitSpec{NextAS: 1, MED: 1})
+		b.Exit(n["b1"], topology.ExitSpec{NextAS: 1, MED: 0})
+	})
+	quiet, _ := buildFig1aWith(t, func(b *topology.Builder, n map[string]bgp.NodeID) {
+		b.Exit(n["b1"], topology.ExitSpec{NextAS: 3, MED: 0})
+	})
+	return NewMulti(map[uint32]*topology.System{1: hot, 2: quiet}, policy, selection.Options{}, delay), nodes
+}
+
+func TestMultiPrefixSimIndependence(t *testing.T) {
+	s, nodes := twoPrefixSim(t, protocol.Modified, ConstantDelay(3))
+	s.InjectAll()
+	res := s.Run(0)
+	if !res.Quiesced {
+		t.Fatalf("did not quiesce: %+v", res)
+	}
+	if got := s.BestFor(1, nodes["A"]); got != 0 {
+		t.Fatalf("prefix 1: A best = p%d, want r1", got)
+	}
+	for name := range nodes {
+		if got := s.BestFor(2, nodes[name]); got != 0 {
+			t.Fatalf("prefix 2: %s best = p%d", name, got)
+		}
+	}
+	if s.BestFor(9, nodes["A"]) != bgp.None {
+		t.Fatal("unknown prefix returned a route")
+	}
+}
+
+func TestMultiPrefixSimAdaptive(t *testing.T) {
+	// Deterministic counterpart of the TCP E19 scenario: per-prefix
+	// triggered advertisement in the discrete-event simulator.
+	s, nodes := twoPrefixSim(t, protocol.Adaptive, ConstantDelay(3))
+	s.InjectAll()
+	res := s.Run(50000)
+	if !res.Quiesced {
+		t.Fatalf("adaptive multi-prefix sim did not quiesce: %+v", res)
+	}
+	upgradedHot, upgradedQuiet := 0, 0
+	for _, u := range nodes {
+		if s.Upgraded(1, u) {
+			upgradedHot++
+		}
+		if s.Upgraded(2, u) {
+			upgradedQuiet++
+		}
+	}
+	if upgradedHot == 0 {
+		t.Fatal("no router upgraded on the oscillating prefix")
+	}
+	if upgradedQuiet != 0 {
+		t.Fatalf("%d routers upgraded on the quiet prefix", upgradedQuiet)
+	}
+}
+
+func TestMultiPrefixSimClassicHotChurn(t *testing.T) {
+	s, nodes := twoPrefixSim(t, protocol.Classic, ConstantDelay(3))
+	s.InjectAll()
+	res := s.Run(20000)
+	if res.Quiesced {
+		t.Fatal("classic multi-prefix sim quiesced despite the hot prefix")
+	}
+	// The quiet prefix's routes are correct and stable regardless.
+	for name := range nodes {
+		if got := s.BestFor(2, nodes[name]); got != 0 {
+			t.Fatalf("quiet prefix at %s = p%d", name, got)
+		}
+	}
+}
+
+func TestMultiPrefixSimAdaptiveQuiescesUnderJitter(t *testing.T) {
+	// Unlike Modified, the Adaptive policy does not promise a *unique*
+	// outcome — which routers upgrade first depends on timing, and
+	// different upgrades can legalise different stable states. What it
+	// must deliver under every delay pattern is quiescence of the hot
+	// prefix into some stable state, with the quiet prefix untouched.
+	for seed := int64(1); seed <= 8; seed++ {
+		s, nodes := twoPrefixSim(t, protocol.Adaptive, RandomDelay(seed, 1, 20))
+		s.InjectAll()
+		res := s.Run(50000)
+		if !res.Quiesced {
+			t.Fatalf("seed %d: did not quiesce", seed)
+		}
+		if got := s.BestFor(1, nodes["A"]); got == bgp.None {
+			t.Fatalf("seed %d: A routeless on the hot prefix", seed)
+		}
+		for name := range nodes {
+			if s.Upgraded(2, nodes[name]) {
+				t.Fatalf("seed %d: quiet prefix upgraded at %s", seed, name)
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package protocol
+
+import (
+	"math/rand"
+
+	"repro/internal/bgp"
+)
+
+// Schedule produces the activation sets of a fair activation sequence
+// (Section 4). Implementations must be fair: over an infinite run, every
+// node appears in infinitely many activation sets.
+type Schedule interface {
+	// Next returns the next activation set. The returned slice may be
+	// reused by the schedule.
+	Next() []bgp.NodeID
+	// Period returns the number of steps after which the schedule repeats
+	// exactly, or 0 for schedules with no short period (randomised ones).
+	// Runners use the period to hash engine states at phase boundaries for
+	// cycle detection.
+	Period() int
+}
+
+// roundRobin activates single nodes 0,1,...,n-1,0,1,...
+type roundRobin struct {
+	n, i int
+	buf  [1]bgp.NodeID
+}
+
+// RoundRobin returns the deterministic schedule activating one node at a
+// time in increasing order.
+func RoundRobin(n int) Schedule { return &roundRobin{n: n} }
+
+func (s *roundRobin) Next() []bgp.NodeID {
+	s.buf[0] = bgp.NodeID(s.i)
+	s.i = (s.i + 1) % s.n
+	return s.buf[:]
+}
+
+func (s *roundRobin) Period() int { return s.n }
+
+// allAtOnce activates every node simultaneously each step.
+type allAtOnce struct {
+	set []bgp.NodeID
+}
+
+// AllAtOnce returns the deterministic schedule whose every activation set
+// is the full node set. This is the synchronous execution that drives the
+// Figure 2 transient oscillation.
+func AllAtOnce(n int) Schedule {
+	set := make([]bgp.NodeID, n)
+	for i := range set {
+		set[i] = bgp.NodeID(i)
+	}
+	return &allAtOnce{set: set}
+}
+
+func (s *allAtOnce) Next() []bgp.NodeID { return s.set }
+func (s *allAtOnce) Period() int        { return 1 }
+
+// permutationRounds activates single nodes, one random permutation of the
+// node set per round. Fair by construction.
+type permutationRounds struct {
+	n    int
+	rng  *rand.Rand
+	perm []int
+	i    int
+	buf  [1]bgp.NodeID
+}
+
+// PermutationRounds returns a seeded random fair schedule: each round
+// activates every node exactly once, in a fresh random order.
+func PermutationRounds(n int, seed int64) Schedule {
+	return &permutationRounds{n: n, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *permutationRounds) Next() []bgp.NodeID {
+	if s.i == 0 {
+		s.perm = s.rng.Perm(s.n)
+	}
+	s.buf[0] = bgp.NodeID(s.perm[s.i])
+	s.i = (s.i + 1) % s.n
+	return s.buf[:]
+}
+
+func (s *permutationRounds) Period() int { return 0 }
+
+// subsetRounds activates random non-empty subsets, padded so that every
+// round of n steps covers every node at least once (fairness).
+type subsetRounds struct {
+	n       int
+	rng     *rand.Rand
+	pending []bgp.NodeID // nodes still owed an activation this round
+	buf     []bgp.NodeID
+}
+
+// SubsetRounds returns a seeded random fair schedule whose activation sets
+// are random subsets; within each round every node is guaranteed to appear.
+func SubsetRounds(n int, seed int64) Schedule {
+	return &subsetRounds{n: n, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *subsetRounds) Next() []bgp.NodeID {
+	if len(s.pending) == 0 {
+		perm := s.rng.Perm(s.n)
+		s.pending = s.pending[:0]
+		for _, v := range perm {
+			s.pending = append(s.pending, bgp.NodeID(v))
+		}
+	}
+	// Take a random-size prefix of the pending nodes plus random extras.
+	k := 1 + s.rng.Intn(len(s.pending))
+	s.buf = s.buf[:0]
+	s.buf = append(s.buf, s.pending[:k]...)
+	s.pending = s.pending[k:]
+	for v := 0; v < s.n; v++ {
+		if s.rng.Intn(4) == 0 {
+			id := bgp.NodeID(v)
+			dup := false
+			for _, x := range s.buf {
+				if x == id {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				s.buf = append(s.buf, id)
+			}
+		}
+	}
+	return s.buf
+}
+
+func (s *subsetRounds) Period() int { return 0 }
+
+// fixed replays an explicit list of activation sets, then repeats it.
+type fixed struct {
+	sets [][]bgp.NodeID
+	i    int
+}
+
+// Fixed returns a schedule replaying the given activation sets cyclically.
+// It is used to script the exact executions walked through in Section 3.
+func Fixed(sets ...[]bgp.NodeID) Schedule { return &fixed{sets: sets} }
+
+func (s *fixed) Next() []bgp.NodeID {
+	set := s.sets[s.i]
+	s.i = (s.i + 1) % len(s.sets)
+	return set
+}
+
+func (s *fixed) Period() int { return len(s.sets) }

@@ -1,0 +1,305 @@
+// Package rib implements the operational per-router state of an I-BGP
+// speaker: the per-peer Adj-RIB-In, the locally injected E-BGP routes, the
+// best-route decision process and the route-reflection announcement rules
+// of Section 2. It is shared by the discrete-event simulator (package
+// msgsim) and the TCP speakers (package speaker) so that both substrates
+// run exactly the same protocol logic.
+package rib
+
+import (
+	"sort"
+
+	"repro/internal/bgp"
+	"repro/internal/protocol"
+	"repro/internal/selection"
+	"repro/internal/topology"
+)
+
+// Update is an outbound UPDATE computed by Refresh: the diff between what
+// was last advertised to a peer and what should be advertised now.
+type Update struct {
+	To       bgp.NodeID
+	Announce []bgp.PathID
+	Withdraw []bgp.PathID
+}
+
+// RIB is the state of one I-BGP speaker. It is not safe for concurrent
+// use; callers serialise access (msgsim is single-threaded, speaker routers
+// own their RIB from a single goroutine).
+type RIB struct {
+	sys    *topology.System
+	policy protocol.Policy
+	opts   selection.Options
+	id     bgp.NodeID
+
+	myExits  bgp.PathSet
+	adjIn    map[bgp.NodeID]*bgp.PathSet
+	lastSent map[bgp.NodeID]*bgp.PathSet
+	best     bgp.PathID
+
+	// Adaptive-policy state (protocol.Adaptive): revisit count, the set of
+	// best routes held before, and whether this router has switched to
+	// survivor advertisement.
+	flaps    int
+	heldBest bgp.PathSet
+	upgraded bool
+}
+
+// New returns an empty RIB for router id.
+func New(sys *topology.System, policy protocol.Policy, opts selection.Options, id bgp.NodeID) *RIB {
+	r := &RIB{
+		sys:      sys,
+		policy:   policy,
+		opts:     opts,
+		id:       id,
+		adjIn:    map[bgp.NodeID]*bgp.PathSet{},
+		lastSent: map[bgp.NodeID]*bgp.PathSet{},
+		best:     bgp.None,
+	}
+	for _, w := range sys.Peers(id) {
+		var a, l bgp.PathSet
+		r.adjIn[w] = &a
+		r.lastSent[w] = &l
+	}
+	return r
+}
+
+// ID returns the router this RIB belongs to.
+func (r *RIB) ID() bgp.NodeID { return r.id }
+
+// Best returns the current best path, or bgp.None.
+func (r *RIB) Best() bgp.PathID { return r.best }
+
+// BestRoute materialises the current best route.
+func (r *RIB) BestRoute() (bgp.Route, bool) {
+	if r.best == bgp.None {
+		return bgp.Route{}, false
+	}
+	p := r.sys.Exit(r.best)
+	return r.sys.Route(r.id, p, r.learnedFrom(p)), true
+}
+
+// Possible returns the current candidate set: own exits plus everything in
+// the Adj-RIB-Ins.
+func (r *RIB) Possible() bgp.PathSet {
+	out := r.myExits.Clone()
+	for _, set := range r.adjIn {
+		out.Union(*set)
+	}
+	return out
+}
+
+// MyExits returns the current locally injected exit set.
+func (r *RIB) MyExits() bgp.PathSet { return r.myExits.Clone() }
+
+// AdjIn returns the paths peer w currently advertises to this router.
+func (r *RIB) AdjIn(w bgp.NodeID) bgp.PathSet {
+	if s, ok := r.adjIn[w]; ok {
+		return s.Clone()
+	}
+	return bgp.PathSet{}
+}
+
+// Inject records an E-BGP injection of path id at this router.
+func (r *RIB) Inject(id bgp.PathID) { r.myExits.Add(id) }
+
+// WithdrawExternal records an E-BGP withdrawal of path id.
+func (r *RIB) WithdrawExternal(id bgp.PathID) { r.myExits.Remove(id) }
+
+// ApplyUpdate merges an UPDATE received from peer w.
+func (r *RIB) ApplyUpdate(w bgp.NodeID, announce, withdraw []bgp.PathID) {
+	in, ok := r.adjIn[w]
+	if !ok {
+		return // not a configured peer; drop
+	}
+	for _, id := range announce {
+		in.Add(id)
+	}
+	for _, id := range withdraw {
+		in.Remove(id)
+	}
+}
+
+// learnedFrom computes the selection tie-break attribution of path p.
+func (r *RIB) learnedFrom(p bgp.ExitPath) int {
+	if p.TieBreak >= 0 {
+		return p.TieBreak
+	}
+	if r.myExits.Contains(p.ID) {
+		return p.NextHopID
+	}
+	lf := int(^uint(0) >> 1)
+	for w, set := range r.adjIn {
+		if set.Contains(p.ID) {
+			if id := r.sys.BGPID(w); id < lf {
+				lf = id
+			}
+		}
+	}
+	return lf
+}
+
+// sourceKind classifies how this router learned path id: 0 = E-BGP, 1 =
+// from a served (client) peer, 2 = from a non-client peer. origin is the
+// announcing peer for kinds 1 and 2. The served-by classification covers
+// multi-level hierarchies, where a sub-cluster's reflector is a served
+// member of the parent cluster.
+func (r *RIB) sourceKind(id bgp.PathID) (kind int, origin bgp.NodeID) {
+	if r.myExits.Contains(id) {
+		return 0, r.id
+	}
+	peers := make([]bgp.NodeID, 0, len(r.adjIn))
+	for w := range r.adjIn {
+		peers = append(peers, w)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	for _, w := range peers {
+		if !r.adjIn[w].Contains(id) {
+			continue
+		}
+		if r.sys.ServedBy(w, r.id) {
+			return 1, w
+		}
+		return 2, w
+	}
+	return 2, -1
+}
+
+// MayAnnounce implements the operational announcement rules of Section 2
+// for one path toward peer w, generalized to multi-level hierarchies:
+// E-BGP routes go to everyone; routes from a served peer go to everyone
+// but the originator; routes from a non-client peer flow only downward to
+// this router's own served members. A leaf client serves nobody, so the
+// rules degenerate to "announce own routes only" — the plain I-BGP
+// speaker behaviour.
+func (r *RIB) MayAnnounce(id bgp.PathID, w bgp.NodeID) bool {
+	kind, origin := r.sourceKind(id)
+	switch kind {
+	case 0: // E-BGP: to everyone.
+		return true
+	case 1: // From a served peer: to everyone except the originator.
+		return w != origin
+	default: // From a non-client peer: downward only.
+		return r.sys.ServedBy(w, r.id)
+	}
+}
+
+// candidates materialises the current candidate routes.
+func (r *RIB) candidates() []bgp.Route {
+	ids := r.Possible().IDs()
+	rs := make([]bgp.Route, len(ids))
+	for i, id := range ids {
+		p := r.sys.Exit(id)
+		rs[i] = r.sys.Route(r.id, p, r.learnedFrom(p))
+	}
+	return rs
+}
+
+// advertiseSet returns the paths this router wants to offer under its
+// policy, before per-peer announcement filtering.
+func (r *RIB) advertiseSet() bgp.PathSet {
+	cands := r.candidates()
+	var out bgp.PathSet
+	switch {
+	case r.policy == protocol.Modified || (r.policy == protocol.Adaptive && r.upgraded):
+		paths := make([]bgp.ExitPath, len(cands))
+		for i, c := range cands {
+			paths[i] = c.Path
+		}
+		for _, p := range selection.SurvivorsB(paths, r.opts.MED) {
+			out.Add(p.ID)
+		}
+	case r.policy == protocol.Walton && r.sys.Role(r.id) == topology.Reflector:
+		for _, w := range selection.WaltonSet(cands, r.opts) {
+			out.Add(w.Path.ID)
+		}
+	default:
+		if w, ok := selection.Best(cands, r.opts); ok {
+			out.Add(w.Path.ID)
+		}
+	}
+	return out
+}
+
+// Upgraded reports whether this router has switched to survivor
+// advertisement under the Adaptive policy.
+func (r *RIB) Upgraded() bool { return r.upgraded }
+
+// RecomputeBest re-runs the decision process and reports whether the best
+// route moved (a "flap"). It also feeds the adaptive oscillation detector.
+func (r *RIB) RecomputeBest() (bestChanged bool) {
+	oldBest := r.best
+	if w, ok := selection.Best(r.candidates(), r.opts); ok {
+		r.best = w.Path.ID
+	} else {
+		r.best = bgp.None
+	}
+	bestChanged = r.best != oldBest
+	if bestChanged && r.best != bgp.None {
+		if r.heldBest.Contains(r.best) {
+			r.flaps++ // a revisit: oscillation evidence
+			if r.policy == protocol.Adaptive && r.flaps >= protocol.AdaptiveThreshold {
+				r.upgraded = true
+			}
+		}
+		r.heldBest.Add(r.best)
+	}
+	return bestChanged
+}
+
+// TargetFor returns the set of paths this router currently wants peer w to
+// hold, after policy and announcement-rule filtering. It does not mutate
+// any state; compare with LastSent to decide whether an UPDATE is owed.
+func (r *RIB) TargetFor(w bgp.NodeID) bgp.PathSet {
+	want := r.advertiseSet()
+	var target bgp.PathSet
+	for _, id := range want.IDs() {
+		if r.MayAnnounce(id, w) {
+			target.Add(id)
+		}
+	}
+	return target
+}
+
+// LastSent returns what was last advertised to peer w.
+func (r *RIB) LastSent(w bgp.NodeID) bgp.PathSet {
+	if s, ok := r.lastSent[w]; ok {
+		return s.Clone()
+	}
+	return bgp.PathSet{}
+}
+
+// CommitSend records target as advertised to w and returns the announce /
+// withdraw diff to put on the wire. Both slices are nil when nothing
+// changed.
+func (r *RIB) CommitSend(w bgp.NodeID, target bgp.PathSet) (announce, withdraw []bgp.PathID) {
+	last := r.lastSent[w]
+	if last == nil || target.Equal(*last) {
+		return nil, nil
+	}
+	for _, id := range target.IDs() {
+		if !last.Contains(id) {
+			announce = append(announce, id)
+		}
+	}
+	for _, id := range last.IDs() {
+		if !target.Contains(id) {
+			withdraw = append(withdraw, id)
+		}
+	}
+	*last = target
+	return announce, withdraw
+}
+
+// Refresh recomputes the best route and returns the UPDATEs owed to peers.
+// bestChanged reports whether the best route moved (a "flap").
+func (r *RIB) Refresh() (bestChanged bool, updates []Update) {
+	bestChanged = r.RecomputeBest()
+	for _, w := range r.sys.Peers(r.id) {
+		ann, wd := r.CommitSend(w, r.TargetFor(w))
+		if len(ann) > 0 || len(wd) > 0 {
+			updates = append(updates, Update{To: w, Announce: ann, Withdraw: wd})
+		}
+	}
+	return bestChanged, updates
+}

@@ -1,0 +1,94 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format: comment lines starting
+// with 'c', one "p cnf <vars> <clauses>" header, then whitespace-separated
+// literals with 0 terminating each clause.
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	f := &Formula{NumVars: -1}
+	declared := -1
+	var cur Clause
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		if strings.HasPrefix(text, "p") {
+			if f.NumVars >= 0 {
+				return nil, fmt.Errorf("sat: line %d: duplicate problem line", line)
+			}
+			fields := strings.Fields(text)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: line %d: malformed problem line %q", line, text)
+			}
+			nv, err1 := strconv.Atoi(fields[2])
+			nc, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || nv < 0 || nc < 0 {
+				return nil, fmt.Errorf("sat: line %d: malformed problem line %q", line, text)
+			}
+			f.NumVars = nv
+			declared = nc
+			continue
+		}
+		if f.NumVars < 0 {
+			return nil, fmt.Errorf("sat: line %d: clause before problem line", line)
+		}
+		for _, tok := range strings.Fields(text) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: line %d: bad literal %q", line, tok)
+			}
+			if v == 0 {
+				f.Clauses = append(f.Clauses, cur)
+				cur = nil
+				continue
+			}
+			cur = append(cur, Literal(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if f.NumVars < 0 {
+		return nil, fmt.Errorf("sat: missing problem line")
+	}
+	if len(cur) > 0 {
+		f.Clauses = append(f.Clauses, cur) // tolerate missing final 0
+	}
+	if declared >= 0 && declared != len(f.Clauses) {
+		return nil, fmt.Errorf("sat: header declares %d clauses, found %d", declared, len(f.Clauses))
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// WriteDIMACS renders the formula in DIMACS format.
+func WriteDIMACS(w io.Writer, f *Formula) error {
+	if _, err := fmt.Fprintf(w, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		parts := make([]string, 0, len(c)+1)
+		for _, l := range c {
+			parts = append(parts, strconv.Itoa(int(l)))
+		}
+		parts = append(parts, "0")
+		if _, err := fmt.Fprintln(w, strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

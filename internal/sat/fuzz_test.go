@@ -1,0 +1,49 @@
+package sat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseDIMACS: the parser must never panic and any formula it accepts
+// must survive a write/parse round trip.
+func FuzzParseDIMACS(f *testing.F) {
+	f.Add("p cnf 3 2\n1 -2 0\n2 3 0\n")
+	f.Add("c comment\np cnf 1 1\n1 0")
+	f.Add("p cnf 0 0\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, in string) {
+		formula, err := ParseDIMACS(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, formula); err != nil {
+			t.Fatalf("accepted formula failed to write: %v", err)
+		}
+		again, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if again.String() != formula.String() {
+			t.Fatalf("round trip changed formula: %q vs %q", formula, again)
+		}
+	})
+}
+
+// FuzzSolveAgreesWithEval: on any parseable small formula, a returned
+// assignment must actually satisfy it.
+func FuzzSolveAgreesWithEval(f *testing.F) {
+	f.Add("p cnf 3 2\n1 -2 0\n2 3 0\n")
+	f.Add("p cnf 2 2\n1 0\n-1 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		formula, err := ParseDIMACS(strings.NewReader(in))
+		if err != nil || formula.NumVars > 16 || len(formula.Clauses) > 64 {
+			return
+		}
+		if a, ok := Solve(formula); ok && !formula.Eval(a) {
+			t.Fatalf("Solve returned non-satisfying assignment for %s", formula)
+		}
+	})
+}

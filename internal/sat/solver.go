@@ -1,0 +1,188 @@
+package sat
+
+import "math/rand"
+
+// Solve decides satisfiability with DPLL (unit propagation + pure-literal
+// elimination + splitting). It returns a satisfying assignment (index 0
+// unused) when one exists.
+func Solve(f *Formula) ([]bool, bool) {
+	assign := make([]int8, f.NumVars+1) // 0 unknown, 1 true, -1 false
+	if !dpll(f.Clauses, assign) {
+		return nil, false
+	}
+	out := make([]bool, f.NumVars+1)
+	for v := 1; v <= f.NumVars; v++ {
+		out[v] = assign[v] >= 0 // unknowns default true
+	}
+	return out, true
+}
+
+// litVal returns 1 if l is satisfied, -1 if falsified, 0 if unknown.
+func litVal(l Literal, assign []int8) int8 {
+	v := assign[l.Var()]
+	if v == 0 {
+		return 0
+	}
+	if (v > 0) == l.Positive() {
+		return 1
+	}
+	return -1
+}
+
+func dpll(clauses []Clause, assign []int8) bool {
+	// Unit propagation and pure-literal elimination to fixpoint.
+	var trail []int
+	record := func(v int, val int8) {
+		assign[v] = val
+		trail = append(trail, v)
+	}
+	undo := func() {
+		for _, v := range trail {
+			assign[v] = 0
+		}
+	}
+
+	for {
+		changed := false
+		polarity := map[int]int8{} // 1 pos-only, -1 neg-only, 2 mixed
+		for _, c := range clauses {
+			sat := false
+			var unit Literal
+			unknown := 0
+			for _, l := range c {
+				switch litVal(l, assign) {
+				case 1:
+					sat = true
+				case 0:
+					unknown++
+					unit = l
+					if p, ok := polarity[l.Var()]; !ok {
+						if l.Positive() {
+							polarity[l.Var()] = 1
+						} else {
+							polarity[l.Var()] = -1
+						}
+					} else if (p == 1) != l.Positive() && p != 2 {
+						polarity[l.Var()] = 2
+					}
+				}
+				if sat {
+					break
+				}
+			}
+			if sat {
+				continue
+			}
+			if unknown == 0 {
+				undo()
+				return false // conflict
+			}
+			if unknown == 1 {
+				if unit.Positive() {
+					record(unit.Var(), 1)
+				} else {
+					record(unit.Var(), -1)
+				}
+				changed = true
+			}
+		}
+		if !changed {
+			// Pure literals: assign them their polarity.
+			for v, p := range polarity {
+				if assign[v] == 0 && (p == 1 || p == -1) {
+					record(v, p)
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Find a splitting variable among remaining unknowns of unsatisfied
+	// clauses.
+	split := 0
+	allSat := true
+	for _, c := range clauses {
+		sat := false
+		for _, l := range c {
+			if litVal(l, assign) == 1 {
+				sat = true
+				break
+			}
+		}
+		if sat {
+			continue
+		}
+		allSat = false
+		for _, l := range c {
+			if litVal(l, assign) == 0 {
+				split = l.Var()
+				break
+			}
+		}
+		if split != 0 {
+			break
+		}
+	}
+	if allSat {
+		return true
+	}
+	if split == 0 {
+		undo()
+		return false // some clause fully falsified
+	}
+	for _, val := range []int8{1, -1} {
+		assign[split] = val
+		if dpll(clauses, assign) {
+			return true
+		}
+		assign[split] = 0
+	}
+	undo()
+	return false
+}
+
+// BruteForce decides satisfiability by exhaustive enumeration. Exponential;
+// used to cross-check Solve in tests. Returns the satisfying assignment
+// with the smallest binary encoding when one exists.
+func BruteForce(f *Formula) ([]bool, bool) {
+	n := f.NumVars
+	if n > 24 {
+		panic("sat: BruteForce limited to 24 variables")
+	}
+	assign := make([]bool, n+1)
+	for mask := 0; mask < 1<<n; mask++ {
+		for v := 1; v <= n; v++ {
+			assign[v] = mask&(1<<(v-1)) != 0
+		}
+		if f.Eval(assign) {
+			return assign, true
+		}
+	}
+	return nil, false
+}
+
+// Random3SAT generates a random formula with n variables and m clauses of
+// exactly three distinct variables each. Panics if n < 3.
+func Random3SAT(n, m int, seed int64) *Formula {
+	if n < 3 {
+		panic("sat: Random3SAT needs n >= 3")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := &Formula{NumVars: n}
+	for i := 0; i < m; i++ {
+		vars := rng.Perm(n)[:3]
+		var c Clause
+		for _, v := range vars {
+			l := Literal(v + 1)
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			c = append(c, l)
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}

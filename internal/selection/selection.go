@@ -1,0 +1,335 @@
+// Package selection implements the BGP route selection procedures of the
+// paper: the full six-rule Choose_best of Section 2/Figure 6, the truncated
+// Choose^B of Section 6/Figure 10 (rules 1-3, the "MED survivors"), the
+// alternative rule ordering of RFC 1771/[11] discussed around Figure 1(b),
+// the always-compare-MED variant, and the per-neighbouring-AS computation
+// used by the Walton et al. proposal (Section 8).
+package selection
+
+import (
+	"sort"
+
+	"repro/internal/bgp"
+)
+
+// Order selects how rules 4 and 5 interact (footnote 4 of the paper).
+type Order int
+
+const (
+	// PaperOrder prefers E-BGP routes over I-BGP routes irrespective of the
+	// IGP cost to the next hop (Cisco/Juniper behaviour; the paper's
+	// default).
+	PaperOrder Order = iota
+	// RFCOrder picks the minimum IGP cost route first, then prefers E-BGP
+	// among cost ties (the RFC 1771 reading; Figure 1(b) diverges under
+	// this ordering).
+	RFCOrder
+)
+
+func (o Order) String() string {
+	if o == RFCOrder {
+		return "rfc"
+	}
+	return "paper"
+}
+
+// MEDMode selects how rule 3 compares MED values.
+type MEDMode int
+
+const (
+	// PerNeighborAS compares MEDs only between routes through the same
+	// neighbouring AS (standard behaviour; the source of the oscillations).
+	PerNeighborAS MEDMode = iota
+	// AlwaysCompare compares MEDs across all routes regardless of the
+	// neighbouring AS (the Cisco "always-compare-med" mitigation mentioned
+	// in Section 1).
+	AlwaysCompare
+)
+
+func (m MEDMode) String() string {
+	if m == AlwaysCompare {
+		return "always-compare-med"
+	}
+	return "per-neighbor-as"
+}
+
+// Options bundles the selection knobs.
+type Options struct {
+	Order Order
+	MED   MEDMode
+}
+
+// filterMaxLocalPref keeps the routes with the highest LOCAL-PREF (rule 1).
+func filterMaxLocalPref(rs []bgp.Route) []bgp.Route {
+	best := rs[0].Path.LocalPref
+	for _, r := range rs[1:] {
+		if r.Path.LocalPref > best {
+			best = r.Path.LocalPref
+		}
+	}
+	out := rs[:0]
+	for _, r := range rs {
+		if r.Path.LocalPref == best {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// filterMinASPathLen keeps the routes with the shortest AS-PATH (rule 2).
+func filterMinASPathLen(rs []bgp.Route) []bgp.Route {
+	best := rs[0].Path.ASPathLen
+	for _, r := range rs[1:] {
+		if r.Path.ASPathLen < best {
+			best = r.Path.ASPathLen
+		}
+	}
+	out := rs[:0]
+	for _, r := range rs {
+		if r.Path.ASPathLen == best {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// filterMED applies rule 3: for each neighbouring AS, keep only the routes
+// with the minimum MED among routes through that AS. Under AlwaysCompare
+// the minimum is taken over all routes. Small inputs use a quadratic scan
+// to stay allocation-free.
+func filterMED(rs []bgp.Route, mode MEDMode) []bgp.Route {
+	if mode == AlwaysCompare {
+		best := rs[0].Path.MED
+		for _, r := range rs[1:] {
+			if r.Path.MED < best {
+				best = r.Path.MED
+			}
+		}
+		out := rs[:0]
+		for _, r := range rs {
+			if r.Path.MED == best {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	if len(rs) <= 16 {
+		var keep [16]bool
+		for i, r := range rs {
+			keep[i] = true
+			for j, o := range rs {
+				if i != j && o.Path.NextAS == r.Path.NextAS && o.Path.MED < r.Path.MED {
+					keep[i] = false
+					break
+				}
+			}
+		}
+		out := rs[:0]
+		for i, r := range rs {
+			if keep[i] {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	minByAS := make(map[bgp.ASN]int, 4)
+	for _, r := range rs {
+		cur, ok := minByAS[r.Path.NextAS]
+		if !ok || r.Path.MED < cur {
+			minByAS[r.Path.NextAS] = r.Path.MED
+		}
+	}
+	out := rs[:0]
+	for _, r := range rs {
+		if r.Path.MED == minByAS[r.Path.NextAS] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// filterMetric keeps the routes with the minimum metric (IGP cost to the
+// next hop plus exit cost).
+func filterMetric(rs []bgp.Route) []bgp.Route {
+	best := rs[0].Metric
+	for _, r := range rs[1:] {
+		if r.Metric < best {
+			best = r.Metric
+		}
+	}
+	out := rs[:0]
+	for _, r := range rs {
+		if r.Metric == best {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// filterEBGP keeps only E-BGP routes; if there are none it returns the
+// input unchanged.
+func filterEBGP(rs []bgp.Route) []bgp.Route {
+	any := false
+	for _, r := range rs {
+		if r.EBGP() {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return rs
+	}
+	out := rs[:0]
+	for _, r := range rs {
+		if r.EBGP() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Best runs the full route selection procedure over the candidate routes of
+// one router and returns the winner. ok is false when cands is empty.
+//
+// Rules, in the paper's order: (1) highest LOCAL-PREF; (2) shortest
+// AS-PATH; (3) per-neighbouring-AS minimum MED; (4)/(5) prefer E-BGP routes
+// and take the minimum metric (PaperOrder) or take the minimum metric and
+// prefer E-BGP among ties (RFCOrder); (6) lowest learnedFrom identifier.
+// Any remaining tie breaks on PathID for determinism.
+func Best(cands []bgp.Route, opts Options) (bgp.Route, bool) {
+	if len(cands) == 0 {
+		return bgp.Route{}, false
+	}
+	// One defensive copy; every filter below compacts it in place.
+	rs := make([]bgp.Route, len(cands))
+	copy(rs, cands)
+	rs = filterMaxLocalPref(rs)
+	rs = filterMinASPathLen(rs)
+	rs = filterMED(rs, opts.MED)
+	switch opts.Order {
+	case RFCOrder:
+		rs = filterMetric(rs)
+		rs = filterEBGP(rs)
+	default:
+		rs = filterEBGP(rs)
+		rs = filterMetric(rs)
+	}
+	win := rs[0]
+	for _, r := range rs[1:] {
+		if r.LearnedFrom < win.LearnedFrom ||
+			(r.LearnedFrom == win.LearnedFrom && r.Path.ID < win.Path.ID) {
+			win = r
+		}
+	}
+	return win, true
+}
+
+// SurvivorsB runs Choose^B (Figure 10): the prefix of the selection
+// procedure through the MED rule, applied to exit paths. These are the
+// routes the modified protocol advertises. The result is sorted by PathID.
+//
+// Rules 1-3 read only injection-time attributes (LOCAL-PREF, AS-PATH
+// length, NextAS, MED), so Choose^B is well-defined on exit paths without
+// reference to a particular router.
+func SurvivorsB(paths []bgp.ExitPath, mode MEDMode) []bgp.ExitPath {
+	if len(paths) == 0 {
+		return nil
+	}
+	// Rule 1.
+	bestLP := paths[0].LocalPref
+	for _, p := range paths[1:] {
+		if p.LocalPref > bestLP {
+			bestLP = p.LocalPref
+		}
+	}
+	step1 := make([]bgp.ExitPath, 0, len(paths))
+	for _, p := range paths {
+		if p.LocalPref == bestLP {
+			step1 = append(step1, p)
+		}
+	}
+	// Rule 2.
+	bestLen := step1[0].ASPathLen
+	for _, p := range step1[1:] {
+		if p.ASPathLen < bestLen {
+			bestLen = p.ASPathLen
+		}
+	}
+	step2 := step1[:0]
+	for _, p := range step1 {
+		if p.ASPathLen == bestLen {
+			step2 = append(step2, p)
+		}
+	}
+	// Rule 3.
+	var out []bgp.ExitPath
+	if mode == AlwaysCompare {
+		bestMED := step2[0].MED
+		for _, p := range step2[1:] {
+			if p.MED < bestMED {
+				bestMED = p.MED
+			}
+		}
+		for _, p := range step2 {
+			if p.MED == bestMED {
+				out = append(out, p)
+			}
+		}
+	} else {
+		minByAS := make(map[bgp.ASN]int, 4)
+		for _, p := range step2 {
+			cur, ok := minByAS[p.NextAS]
+			if !ok || p.MED < cur {
+				minByAS[p.NextAS] = p.MED
+			}
+		}
+		for _, p := range step2 {
+			if p.MED == minByAS[p.NextAS] {
+				out = append(out, p)
+			}
+		}
+	}
+	return bgp.SortPaths(out)
+}
+
+// BestPerAS returns, for each neighbouring AS present among the candidates,
+// the route the full selection procedure would pick if only routes through
+// that AS existed. The result is ordered by AS number. This is the
+// computation underlying the Walton et al. advertisement rule.
+func BestPerAS(cands []bgp.Route, opts Options) []bgp.Route {
+	byAS := make(map[bgp.ASN][]bgp.Route)
+	for _, r := range cands {
+		byAS[r.Path.NextAS] = append(byAS[r.Path.NextAS], r)
+	}
+	asns := make([]bgp.ASN, 0, len(byAS))
+	for a := range byAS {
+		asns = append(asns, a)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	out := make([]bgp.Route, 0, len(asns))
+	for _, a := range asns {
+		if w, ok := Best(byAS[a], opts); ok {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// WaltonSet returns the routes a Walton et al. route reflector announces:
+// its best route through each neighbouring AS, kept only when that route
+// has the same LOCAL-PREF and AS-PATH length as the overall best route
+// (Section 8, "Brief Overview of the Walton et al. Solution").
+func WaltonSet(cands []bgp.Route, opts Options) []bgp.Route {
+	overall, ok := Best(cands, opts)
+	if !ok {
+		return nil
+	}
+	per := BestPerAS(cands, opts)
+	out := per[:0]
+	for _, r := range per {
+		if r.Path.LocalPref == overall.Path.LocalPref && r.Path.ASPathLen == overall.Path.ASPathLen {
+			out = append(out, r)
+		}
+	}
+	return out
+}

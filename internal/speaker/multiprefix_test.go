@@ -1,0 +1,146 @@
+package speaker
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/protocol"
+	"repro/internal/selection"
+	"repro/internal/topology"
+)
+
+// fig1aTopologyWith builds the Figure 1(a) topology with a caller-chosen
+// exit table, so several prefixes can share the identical session graph.
+func fig1aTopologyWith(t *testing.T, addExits func(b *topology.Builder, nodes map[string]bgp.NodeID)) (*topology.System, map[string]bgp.NodeID) {
+	t.Helper()
+	b := topology.NewBuilder()
+	cA := b.NewCluster()
+	cB := b.NewCluster()
+	nodes := map[string]bgp.NodeID{}
+	nodes["A"] = b.Reflector("A", cA)
+	nodes["a1"] = b.Client("a1", cA)
+	nodes["a2"] = b.Client("a2", cA)
+	nodes["B"] = b.Reflector("B", cB)
+	nodes["b1"] = b.Client("b1", cB)
+	b.Link(nodes["A"], nodes["a1"], 5).Link(nodes["A"], nodes["a2"], 4)
+	b.Link(nodes["A"], nodes["B"], 1).Link(nodes["B"], nodes["b1"], 10)
+	addExits(b, nodes)
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, nodes
+}
+
+// twoPrefixNetwork: prefix 1 carries the oscillation-prone Figure 1(a)
+// exits; prefix 2 carries one quiet route at b1.
+func twoPrefixNetwork(t *testing.T, policy protocol.Policy) (*Network, map[string]bgp.NodeID) {
+	t.Helper()
+	hot, nodes := fig1aTopologyWith(t, func(b *topology.Builder, n map[string]bgp.NodeID) {
+		b.Exit(n["a1"], topology.ExitSpec{NextAS: 2, MED: 0})
+		b.Exit(n["a2"], topology.ExitSpec{NextAS: 1, MED: 1})
+		b.Exit(n["b1"], topology.ExitSpec{NextAS: 1, MED: 0})
+	})
+	quiet, _ := fig1aTopologyWith(t, func(b *topology.Builder, n map[string]bgp.NodeID) {
+		b.Exit(n["b1"], topology.ExitSpec{NextAS: 3, MED: 0})
+	})
+	n, err := NewMulti(map[uint32]*topology.System{1: hot, 2: quiet}, policy, selection.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Stop)
+	return n, nodes
+}
+
+func TestMultiPrefixIndependence(t *testing.T) {
+	// Under the modified protocol both prefixes converge; routes never
+	// bleed between prefixes.
+	n, nodes := twoPrefixNetwork(t, protocol.Modified)
+	n.InjectAll()
+	if !n.WaitQuiesce(quiesceTimeout, settle) {
+		t.Fatal("did not quiesce")
+	}
+	if got := n.BestFor(1, nodes["A"]); got != 0 {
+		t.Fatalf("prefix 1: A best = p%d, want p0 (r1)", got)
+	}
+	for name := range nodes {
+		if got := n.BestFor(2, nodes[name]); got != 0 {
+			t.Fatalf("prefix 2: %s best = p%d, want the single quiet route", name, got)
+		}
+	}
+	// No cross-prefix contamination in candidate sets.
+	if n.Speaker(nodes["A"]).PossibleFor(2).Len() != 1 {
+		t.Fatalf("prefix 2 candidates at A: %v", n.Speaker(nodes["A"]).PossibleFor(2))
+	}
+	if got := n.BestFor(9, nodes["A"]); got != bgp.None {
+		t.Fatal("unknown prefix returned a route")
+	}
+}
+
+func TestMultiPrefixPerPrefixAdaptive(t *testing.T) {
+	// The Section 10 proposal end to end, on real TCP: with the Adaptive
+	// policy the oscillating prefix triggers survivor advertisement at the
+	// routers that flap, the quiet prefix stays classic everywhere, and
+	// the whole network quiesces.
+	n, nodes := twoPrefixNetwork(t, protocol.Adaptive)
+	n.InjectAll()
+	if !n.WaitQuiesce(30*time.Second, settle) {
+		t.Fatal("adaptive multi-prefix network did not quiesce")
+	}
+	upgradedHot := 0
+	for _, u := range nodes {
+		if n.Speaker(u).Upgraded(1) {
+			upgradedHot++
+		}
+		if n.Speaker(u).Upgraded(2) {
+			t.Fatalf("quiet prefix upgraded at %d", u)
+		}
+	}
+	if upgradedHot == 0 {
+		t.Fatal("no router upgraded on the oscillating prefix")
+	}
+	// The oscillating prefix settled on r1 at the reflectors.
+	if got := n.BestFor(1, nodes["A"]); got != 0 {
+		t.Fatalf("prefix 1: A best = p%d", got)
+	}
+}
+
+func TestMultiPrefixClassicChurnsOnlyHotPrefix(t *testing.T) {
+	n, nodes := twoPrefixNetwork(t, protocol.Classic)
+	n.InjectAll()
+	// The hot prefix oscillates forever; the quiet one settles regardless.
+	if n.WaitQuiesce(2*time.Second, settle) {
+		t.Fatal("classic multi-prefix network quiesced despite the hot prefix")
+	}
+	for name := range nodes {
+		if got := n.BestFor(2, nodes[name]); got != 0 {
+			t.Fatalf("quiet prefix at %s = p%d", name, got)
+		}
+	}
+}
+
+func TestNewMultiValidation(t *testing.T) {
+	hot, _ := fig1aTopologyWith(t, func(b *topology.Builder, n map[string]bgp.NodeID) {
+		b.Exit(n["b1"], topology.ExitSpec{NextAS: 1, MED: 0})
+	})
+	// A different topology must be rejected.
+	b := topology.NewBuilder()
+	k := b.NewCluster()
+	r := b.Reflector("A", k)
+	c := b.Client("a1", k)
+	b.Link(r, c, 1)
+	other, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMulti(map[uint32]*topology.System{1: hot, 2: other}, protocol.Classic, selection.Options{}); err == nil {
+		t.Fatal("mismatched topologies accepted")
+	}
+	if _, err := NewMulti(nil, protocol.Classic, selection.Options{}); err == nil {
+		t.Fatal("empty prefix map accepted")
+	}
+}

@@ -1,0 +1,599 @@
+// Package speaker runs an autonomous system's I-BGP speakers as real
+// concurrent processes: one goroutine-backed speaker per router, TCP
+// sessions on the loopback interface between every I-BGP peer pair, and
+// the wire protocol of package wire on the sessions. All speakers share
+// the protocol logic of package rib, so this substrate executes exactly
+// the same decision process as the discrete-event simulator — but under
+// genuine asynchrony, where the operating system's scheduling provides the
+// message orderings the paper quantifies over.
+package speaker
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/protocol"
+	"repro/internal/rib"
+	"repro/internal/selection"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// control is an operator command posted to a speaker's inbox.
+type control struct {
+	prefix   uint32
+	inject   bgp.PathID
+	withdraw bgp.PathID
+}
+
+// inbound is one unit of work for a speaker's main loop.
+type inbound struct {
+	from bgp.NodeID
+	upd  *wire.Update
+	ctl  *control
+}
+
+// session is one established I-BGP TCP session.
+type session struct {
+	peer bgp.NodeID
+	conn net.Conn
+	wmu  sync.Mutex
+	w    *wire.Writer
+}
+
+func (s *session) write(msg wire.Message) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return s.w.WriteMessage(msg)
+}
+
+// Speaker is one running I-BGP speaker. It holds one RIB per destination
+// prefix (single-prefix deployments use prefix 0).
+type Speaker struct {
+	net *Network
+	id  bgp.NodeID
+
+	mu   sync.Mutex
+	ribs map[uint32]*rib.RIB
+
+	sessions map[bgp.NodeID]*session
+	inbox    chan inbound
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// Best returns the speaker's current best path for prefix 0.
+func (s *Speaker) Best() bgp.PathID { return s.BestFor(0) }
+
+// BestFor returns the speaker's current best path for one prefix.
+func (s *Speaker) BestFor(prefix uint32) bgp.PathID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.ribs[prefix]; ok {
+		return r.Best()
+	}
+	return bgp.None
+}
+
+// Possible returns the speaker's current candidate set for prefix 0.
+func (s *Speaker) Possible() bgp.PathSet { return s.PossibleFor(0) }
+
+// PossibleFor returns the candidate set for one prefix.
+func (s *Speaker) PossibleFor(prefix uint32) bgp.PathSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.ribs[prefix]; ok {
+		return r.Possible()
+	}
+	return bgp.PathSet{}
+}
+
+// Upgraded reports whether this speaker switched to survivor advertisement
+// for the given prefix under the Adaptive policy.
+func (s *Speaker) Upgraded(prefix uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.ribs[prefix]; ok {
+		return r.Upgraded()
+	}
+	return false
+}
+
+// Network owns all speakers of one AS. It can carry several destination
+// prefixes at once, each with its own exit-path table over the shared
+// topology — the per-prefix independence that the Section 10 triggered
+// advertisement relies on.
+type Network struct {
+	sys      *topology.System // shared topology (sessions, links, names)
+	systems  map[uint32]*topology.System
+	prefixes []uint32 // sorted
+	policy   protocol.Policy
+	opts     selection.Options
+	speakers []*Speaker
+
+	sent  atomic.Int64 // UPDATEs written to TCP
+	recvd atomic.Int64 // UPDATEs fully processed
+	flaps atomic.Int64
+
+	stopOnce sync.Once
+}
+
+// New assembles (but does not start) a single-prefix network of speakers
+// for sys (the prefix is 0).
+func New(sys *topology.System, policy protocol.Policy, opts selection.Options) *Network {
+	n, err := NewMulti(map[uint32]*topology.System{0: sys}, policy, opts)
+	if err != nil {
+		panic("speaker: " + err.Error()) // single system is always consistent
+	}
+	return n
+}
+
+// NewMulti assembles a multi-prefix network: one System per prefix, all
+// sharing the identical topology (router names, sessions and links) and
+// differing only in their exit paths. Each speaker runs one RIB per
+// prefix; UPDATE messages interleave prefixes on the shared sessions.
+func NewMulti(systems map[uint32]*topology.System, policy protocol.Policy, opts selection.Options) (*Network, error) {
+	if len(systems) == 0 {
+		return nil, errors.New("speaker: no prefixes")
+	}
+	var prefixes []uint32
+	for p := range systems {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
+	base := systems[prefixes[0]]
+	for _, p := range prefixes[1:] {
+		if err := sameTopology(base, systems[p]); err != nil {
+			return nil, fmt.Errorf("speaker: prefix %d: %w", p, err)
+		}
+	}
+	n := &Network{
+		sys:      base,
+		systems:  systems,
+		prefixes: prefixes,
+		policy:   policy,
+		opts:     opts,
+	}
+	for u := 0; u < base.N(); u++ {
+		sp := &Speaker{
+			net:      n,
+			id:       bgp.NodeID(u),
+			ribs:     map[uint32]*rib.RIB{},
+			sessions: map[bgp.NodeID]*session{},
+			inbox:    make(chan inbound, 1024),
+			done:     make(chan struct{}),
+		}
+		for _, p := range prefixes {
+			sp.ribs[p] = rib.New(systems[p], policy, opts, bgp.NodeID(u))
+		}
+		n.speakers = append(n.speakers, sp)
+	}
+	return n, nil
+}
+
+// sameTopology checks that two systems differ only in their exit paths.
+func sameTopology(a, b *topology.System) error {
+	if a.N() != b.N() {
+		return fmt.Errorf("router counts differ (%d vs %d)", a.N(), b.N())
+	}
+	for u := 0; u < a.N(); u++ {
+		uid := bgp.NodeID(u)
+		if a.Name(uid) != b.Name(uid) {
+			return fmt.Errorf("router %d named %q vs %q", u, a.Name(uid), b.Name(uid))
+		}
+		if a.BGPID(uid) != b.BGPID(uid) {
+			return fmt.Errorf("router %q BGP ids differ", a.Name(uid))
+		}
+		for v := 0; v < a.N(); v++ {
+			vid := bgp.NodeID(v)
+			if a.HasSession(uid, vid) != b.HasSession(uid, vid) {
+				return fmt.Errorf("session %q-%q differs", a.Name(uid), a.Name(vid))
+			}
+			if a.Phys().EdgeCost(uid, vid) != b.Phys().EdgeCost(uid, vid) {
+				return fmt.Errorf("link cost %q-%q differs", a.Name(uid), a.Name(vid))
+			}
+		}
+	}
+	return nil
+}
+
+// Prefixes returns the prefixes this network carries, sorted.
+func (n *Network) Prefixes() []uint32 { return append([]uint32(nil), n.prefixes...) }
+
+// Speaker returns the speaker for router u.
+func (n *Network) Speaker(u bgp.NodeID) *Speaker { return n.speakers[u] }
+
+// Flaps returns the total number of best-route changes observed.
+func (n *Network) Flaps() int { return int(n.flaps.Load()) }
+
+// MessagesSent returns the total number of UPDATE messages written.
+func (n *Network) MessagesSent() int { return int(n.sent.Load()) }
+
+// Start opens loopback listeners, dials every session, exchanges OPENs and
+// launches the speaker loops.
+func (n *Network) Start() error {
+	// One listener per speaker.
+	listeners := make([]net.Listener, len(n.speakers))
+	for i := range n.speakers {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			n.Stop()
+			return fmt.Errorf("speaker: listen for %s: %w", n.sys.Name(bgp.NodeID(i)), err)
+		}
+		listeners[i] = ln
+	}
+	defer func() {
+		for _, ln := range listeners {
+			ln.Close()
+		}
+	}()
+
+	// Accept side: each listener accepts its expected number of inbound
+	// sessions (from higher-numbered... lower-numbered peers dial).
+	type accepted struct {
+		to   int
+		conn net.Conn
+		peer bgp.NodeID
+		err  error
+	}
+	expect := make([]int, len(n.speakers))
+	for u := 0; u < n.sys.N(); u++ {
+		for _, v := range n.sys.Peers(bgp.NodeID(u)) {
+			if bgp.NodeID(u) < v {
+				expect[v]++ // u dials v
+			}
+		}
+	}
+	acceptCh := make(chan accepted, n.sys.N()*n.sys.N())
+	var acceptWG sync.WaitGroup
+	for i, ln := range listeners {
+		if expect[i] == 0 {
+			continue
+		}
+		acceptWG.Add(1)
+		go func(i int, ln net.Listener, count int) {
+			defer acceptWG.Done()
+			for k := 0; k < count; k++ {
+				conn, err := ln.Accept()
+				if err != nil {
+					acceptCh <- accepted{to: i, err: err}
+					return
+				}
+				// Read the peer's OPEN to learn who dialed.
+				msg, err := wire.NewReader(conn).ReadMessage()
+				if err != nil {
+					conn.Close()
+					acceptCh <- accepted{to: i, err: err}
+					return
+				}
+				open, ok := msg.(wire.Open)
+				if !ok {
+					conn.Close()
+					acceptCh <- accepted{to: i, err: errors.New("speaker: expected OPEN")}
+					return
+				}
+				acceptCh <- accepted{to: i, conn: conn, peer: bgp.NodeID(open.NodeID)}
+			}
+		}(i, ln, expect[i])
+	}
+
+	// Dial side.
+	var dialErr error
+	for u := 0; u < n.sys.N(); u++ {
+		for _, v := range n.sys.Peers(bgp.NodeID(u)) {
+			if bgp.NodeID(u) >= v {
+				continue
+			}
+			conn, err := net.Dial("tcp", listeners[v].Addr().String())
+			if err != nil {
+				dialErr = err
+				break
+			}
+			w := wire.NewWriter(conn)
+			if err := w.WriteMessage(wire.Open{
+				Version: wire.Version,
+				BGPID:   uint32(n.sys.BGPID(bgp.NodeID(u))),
+				NodeID:  uint32(u),
+			}); err != nil {
+				conn.Close()
+				dialErr = err
+				break
+			}
+			n.speakers[u].sessions[v] = &session{peer: v, conn: conn, w: w}
+		}
+	}
+	acceptWG.Wait()
+	close(acceptCh)
+	for a := range acceptCh {
+		if a.err != nil && dialErr == nil {
+			dialErr = a.err
+		}
+		if a.conn != nil {
+			n.speakers[a.to].sessions[a.peer] = &session{
+				peer: a.peer, conn: a.conn, w: wire.NewWriter(a.conn),
+			}
+		}
+	}
+	if dialErr != nil {
+		n.Stop()
+		return dialErr
+	}
+	// Verify every session is in place, then launch.
+	for u := 0; u < n.sys.N(); u++ {
+		for _, v := range n.sys.Peers(bgp.NodeID(u)) {
+			if n.speakers[u].sessions[v] == nil {
+				n.Stop()
+				return fmt.Errorf("speaker: session %s-%s missing",
+					n.sys.Name(bgp.NodeID(u)), n.sys.Name(v))
+			}
+		}
+	}
+	for _, sp := range n.speakers {
+		sp.start()
+	}
+	return nil
+}
+
+// start launches the speaker's reader and main-loop goroutines.
+func (s *Speaker) start() {
+	for _, sess := range s.sessions {
+		s.wg.Add(1)
+		go s.readLoop(sess)
+	}
+	s.wg.Add(1)
+	go s.mainLoop()
+}
+
+func (s *Speaker) readLoop(sess *session) {
+	defer s.wg.Done()
+	r := wire.NewReader(sess.conn)
+	for {
+		msg, err := r.ReadMessage()
+		if err != nil {
+			return // EOF or teardown
+		}
+		switch m := msg.(type) {
+		case wire.Update:
+			select {
+			case s.inbox <- inbound{from: sess.peer, upd: &m}:
+			case <-s.done:
+				return
+			}
+		case wire.Keepalive, wire.Open:
+			// Liveness / duplicate OPEN: ignored.
+		case wire.Notification:
+			return
+		}
+	}
+}
+
+func (s *Speaker) mainLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case in := <-s.inbox:
+			s.handle(in)
+			// Drain whatever else already arrived before announcing, the
+			// operational analogue of emptying the input queue before
+			// running the decision process.
+			for {
+				select {
+				case more := <-s.inbox:
+					s.handle(more)
+					continue
+				default:
+				}
+				break
+			}
+			s.refresh()
+		}
+	}
+}
+
+// handle applies one unit of inbound work to the per-prefix RIBs.
+func (s *Speaker) handle(in inbound) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case in.upd != nil:
+		ann := map[uint32][]bgp.PathID{}
+		wd := map[uint32][]bgp.PathID{}
+		for _, rec := range in.upd.Announced {
+			ann[rec.Prefix] = append(ann[rec.Prefix], bgp.PathID(rec.PathID))
+		}
+		for _, w := range in.upd.Withdrawn {
+			wd[w.Prefix] = append(wd[w.Prefix], bgp.PathID(w.PathID))
+		}
+		for prefix, r := range s.ribs {
+			if len(ann[prefix]) > 0 || len(wd[prefix]) > 0 {
+				r.ApplyUpdate(in.from, ann[prefix], wd[prefix])
+			}
+		}
+		s.net.recvd.Add(1)
+	case in.ctl != nil:
+		r, ok := s.ribs[in.ctl.prefix]
+		if !ok {
+			return
+		}
+		if in.ctl.inject >= 0 {
+			r.Inject(in.ctl.inject)
+		}
+		if in.ctl.withdraw >= 0 {
+			r.WithdrawExternal(in.ctl.withdraw)
+		}
+	}
+}
+
+// refresh recomputes routes on every prefix and pushes owed UPDATEs onto
+// the sessions, one wire message per peer coalescing all prefixes.
+func (s *Speaker) refresh() {
+	perPeer := map[bgp.NodeID]*wire.Update{}
+	s.mu.Lock()
+	for _, prefix := range s.net.prefixes {
+		r := s.ribs[prefix]
+		flapped, updates := r.Refresh()
+		if flapped {
+			s.net.flaps.Add(1)
+		}
+		for _, u := range updates {
+			msg := perPeer[u.To]
+			if msg == nil {
+				msg = &wire.Update{}
+				perPeer[u.To] = msg
+			}
+			for _, id := range u.Withdraw {
+				msg.Withdrawn = append(msg.Withdrawn, wire.WithdrawnRoute{Prefix: prefix, PathID: uint32(id)})
+			}
+			for _, id := range u.Announce {
+				rec := wire.FromExitPath(s.net.systems[prefix].Exit(id))
+				rec.Prefix = prefix
+				msg.Announced = append(msg.Announced, rec)
+			}
+		}
+	}
+	s.mu.Unlock()
+	// Deterministic send order.
+	peers := make([]bgp.NodeID, 0, len(perPeer))
+	for w := range perPeer {
+		peers = append(peers, w)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	for _, w := range peers {
+		sess := s.sessions[w]
+		if sess == nil {
+			continue
+		}
+		s.net.sent.Add(1)
+		if err := sess.write(*perPeer[w]); err != nil {
+			return // session torn down
+		}
+	}
+}
+
+// Inject delivers an E-BGP route for prefix 0 to its exit point's speaker.
+func (n *Network) Inject(id bgp.PathID) { n.InjectPrefix(0, id) }
+
+// InjectPrefix delivers an E-BGP route for one prefix.
+func (n *Network) InjectPrefix(prefix uint32, id bgp.PathID) {
+	sys, ok := n.systems[prefix]
+	if !ok {
+		return
+	}
+	p := sys.Exit(id)
+	sp := n.speakers[p.ExitPoint]
+	c := control{prefix: prefix, inject: id, withdraw: bgp.None}
+	select {
+	case sp.inbox <- inbound{ctl: &c}:
+	case <-sp.done:
+	}
+}
+
+// Withdraw removes a prefix-0 E-BGP route at its exit point's speaker.
+func (n *Network) Withdraw(id bgp.PathID) { n.WithdrawPrefix(0, id) }
+
+// WithdrawPrefix removes an E-BGP route for one prefix.
+func (n *Network) WithdrawPrefix(prefix uint32, id bgp.PathID) {
+	sys, ok := n.systems[prefix]
+	if !ok {
+		return
+	}
+	p := sys.Exit(id)
+	sp := n.speakers[p.ExitPoint]
+	c := control{prefix: prefix, inject: bgp.None, withdraw: id}
+	select {
+	case sp.inbox <- inbound{ctl: &c}:
+	case <-sp.done:
+	}
+}
+
+// InjectAll delivers every exit path of every prefix.
+func (n *Network) InjectAll() {
+	for _, prefix := range n.prefixes {
+		for _, p := range n.systems[prefix].Exits() {
+			n.InjectPrefix(prefix, p.ID)
+		}
+	}
+}
+
+// Quiesced reports whether no UPDATE is currently unprocessed: everything
+// written has been handled and no speaker holds queued work.
+func (n *Network) Quiesced() bool {
+	if n.sent.Load() != n.recvd.Load() {
+		return false
+	}
+	for _, sp := range n.speakers {
+		if len(sp.inbox) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitQuiesce polls until the network has been quiescent for settle, or
+// until timeout elapses. It returns true on quiescence. Classic I-BGP on
+// an oscillating configuration never quiesces; callers rely on the
+// timeout.
+func (n *Network) WaitQuiesce(timeout, settle time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	quietSince := time.Time{}
+	lastSent := n.sent.Load()
+	for time.Now().Before(deadline) {
+		if n.Quiesced() && n.sent.Load() == lastSent {
+			if quietSince.IsZero() {
+				quietSince = time.Now()
+			} else if time.Since(quietSince) >= settle {
+				return true
+			}
+		} else {
+			quietSince = time.Time{}
+			lastSent = n.sent.Load()
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+// Best returns the current best path of router u for prefix 0.
+func (n *Network) Best(u bgp.NodeID) bgp.PathID { return n.speakers[u].Best() }
+
+// BestFor returns the current best path of router u for one prefix.
+func (n *Network) BestFor(prefix uint32, u bgp.NodeID) bgp.PathID {
+	return n.speakers[u].BestFor(prefix)
+}
+
+// BestAll returns every router's current best path for prefix 0.
+func (n *Network) BestAll() []bgp.PathID { return n.BestAllFor(0) }
+
+// BestAllFor returns every router's current best path for one prefix.
+func (n *Network) BestAllFor(prefix uint32) []bgp.PathID {
+	out := make([]bgp.PathID, len(n.speakers))
+	for i, sp := range n.speakers {
+		out[i] = sp.BestFor(prefix)
+	}
+	return out
+}
+
+// Stop tears the network down: closes sessions and stops all goroutines.
+func (n *Network) Stop() {
+	n.stopOnce.Do(func() {
+		for _, sp := range n.speakers {
+			close(sp.done)
+		}
+		for _, sp := range n.speakers {
+			for _, sess := range sp.sessions {
+				sess.conn.Close()
+			}
+		}
+		for _, sp := range n.speakers {
+			sp.wg.Wait()
+		}
+	})
+}

@@ -1,0 +1,275 @@
+package topology
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bgp"
+)
+
+// threeLevels builds:
+//
+//	top cluster K0: reflector R0 (with client c0)
+//	sub-cluster K1 under K0: reflector R1, client c1
+//	sub-sub-cluster K2 under K1: reflector R2, client c2
+//
+// with exits at c2 (deep) and c0 (top).
+func threeLevels(t *testing.T) (*System, map[string]bgp.NodeID, map[string]bgp.PathID) {
+	t.Helper()
+	b := NewBuilder()
+	k0 := b.NewCluster()
+	k1 := b.SubCluster(k0)
+	k2 := b.SubCluster(k1)
+	R0 := b.Reflector("R0", k0)
+	c0 := b.Client("c0", k0)
+	R1 := b.Reflector("R1", k1)
+	c1 := b.Client("c1", k1)
+	R2 := b.Reflector("R2", k2)
+	c2 := b.Client("c2", k2)
+	b.Link(R0, c0, 1).Link(R0, R1, 1).Link(R1, c1, 1).Link(R1, R2, 1).Link(R2, c2, 1)
+	pDeep := b.Exit(c2, ExitSpec{NextAS: 1, MED: 0})
+	pTop := b.Exit(c0, ExitSpec{NextAS: 2, MED: 0})
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys,
+		map[string]bgp.NodeID{"R0": R0, "c0": c0, "R1": R1, "c1": c1, "R2": R2, "c2": c2},
+		map[string]bgp.PathID{"deep": pDeep, "top": pTop}
+}
+
+func TestHierarchySessions(t *testing.T) {
+	sys, n, _ := threeLevels(t)
+	want := [][2]string{{"R0", "c0"}, {"R0", "R1"}, {"R1", "c1"}, {"R1", "R2"}, {"R2", "c2"}}
+	for _, w := range want {
+		if !sys.HasSession(n[w[0]], n[w[1]]) {
+			t.Fatalf("missing session %s-%s", w[0], w[1])
+		}
+	}
+	// No level skipping, no deep cross links.
+	for _, w := range [][2]string{{"R0", "R2"}, {"R0", "c1"}, {"R0", "c2"}, {"R1", "c2"}, {"c0", "c1"}, {"R2", "c1"}} {
+		if sys.HasSession(n[w[0]], n[w[1]]) {
+			t.Fatalf("unexpected session %s-%s", w[0], w[1])
+		}
+	}
+}
+
+func TestHierarchyServedAndBelow(t *testing.T) {
+	sys, n, _ := threeLevels(t)
+	// Served relations.
+	for _, w := range [][2]string{{"c0", "R0"}, {"R1", "R0"}, {"c1", "R1"}, {"R2", "R1"}, {"c2", "R2"}} {
+		if !sys.ServedBy(n[w[0]], n[w[1]]) {
+			t.Fatalf("%s should be served by %s", w[0], w[1])
+		}
+	}
+	if sys.ServedBy(n["c2"], n["R1"]) || sys.ServedBy(n["R0"], n["R1"]) {
+		t.Fatal("served relation leaked")
+	}
+	// Subtrees.
+	for _, x := range []string{"R0", "c0", "R1", "c1", "R2", "c2"} {
+		if !sys.BelowOrSelf(n["R0"], n[x]) {
+			t.Fatalf("%s should be below R0", x)
+		}
+	}
+	if sys.BelowOrSelf(n["R2"], n["c1"]) || sys.BelowOrSelf(n["R1"], n["c0"]) {
+		t.Fatal("subtree leaked")
+	}
+	if sys.ClusterParent(0) != -1 || sys.ClusterParent(1) != 0 || sys.ClusterParent(2) != 1 {
+		t.Fatal("cluster parents wrong")
+	}
+}
+
+func TestHierarchyTransfers(t *testing.T) {
+	sys, n, p := threeLevels(t)
+	deep := sys.Exit(p["deep"]) // exits at c2
+	top := sys.Exit(p["top"])   // exits at c0
+
+	allowed := [][2]string{
+		{"c2", "R2"}, // case 1: own route up
+		{"R2", "R1"}, // case 2: reflected up
+		{"R1", "R0"}, // case 2: reflected further up
+		{"R1", "c1"}, // case 3: down a sibling branch
+		{"R0", "c0"}, // case 3: down at the top
+	}
+	for _, w := range allowed {
+		if !sys.Transfers(n[w[0]], n[w[1]], deep) {
+			t.Fatalf("deep route must transfer %s -> %s", w[0], w[1])
+		}
+	}
+	forbidden := [][2]string{
+		{"R2", "c2"}, // echo into the originating branch
+		{"R1", "R2"}, // echo down the originating branch
+		{"R0", "R1"}, // ditto, one level up
+		{"c1", "R1"}, // client forwarding a learned route
+	}
+	for _, w := range forbidden {
+		if sys.Transfers(n[w[0]], n[w[1]], deep) {
+			t.Fatalf("deep route must not transfer %s -> %s", w[0], w[1])
+		}
+	}
+
+	// The top route flows down the whole hierarchy.
+	for _, w := range [][2]string{{"c0", "R0"}, {"R0", "R1"}, {"R1", "R2"}, {"R2", "c2"}, {"R1", "c1"}} {
+		if !sys.Transfers(n[w[0]], n[w[1]], top) {
+			t.Fatalf("top route must transfer %s -> %s", w[0], w[1])
+		}
+	}
+	if sys.Transfers(n["R0"], n["c0"], top) {
+		t.Fatal("top route echoed to its originator")
+	}
+}
+
+func TestHierarchyTwoLevelUnchanged(t *testing.T) {
+	// A flat two-level build must behave exactly as before the hierarchy
+	// generalisation: this re-checks the three Transfer cases of Section 4
+	// on the twoClusters fixture.
+	sys, n, p := twoClusters(t)
+	if !sys.Transfers(n["R0"], n["R1"], sys.Exit(p["pa"])) {
+		t.Fatal("case 2 broken")
+	}
+	if sys.Transfers(n["R0"], n["R1"], sys.Exit(p["pc"])) {
+		t.Fatal("case 2 negative broken")
+	}
+	if !sys.Transfers(n["R0"], n["c0a"], sys.Exit(p["pb"])) {
+		t.Fatal("case 3 broken")
+	}
+	if sys.Transfers(n["R0"], n["c0a"], sys.Exit(p["pa"])) {
+		t.Fatal("case 3 echo broken")
+	}
+}
+
+func TestHierarchyCoReflectorsDoNotEchoSharedClients(t *testing.T) {
+	// Two reflectors in ONE cluster: the paper's case 2 requires different
+	// clusters, so the shared client's route is not exchanged between them.
+	b := NewBuilder()
+	k := b.NewCluster()
+	r1 := b.Reflector("r1", k)
+	r2 := b.Reflector("r2", k)
+	c := b.Client("c", k)
+	b.Link(r1, r2, 1).Link(r1, c, 1).Link(r2, c, 1)
+	p := b.Exit(c, ExitSpec{NextAS: 1})
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Transfers(r1, r2, sys.Exit(p)) || sys.Transfers(r2, r1, sys.Exit(p)) {
+		t.Fatal("co-reflectors exchanged a shared client's route")
+	}
+	if !sys.HasSession(r1, r2) {
+		t.Fatal("co-reflectors must still peer")
+	}
+}
+
+// TestTransfersMatchesPaperOracleOnTwoLevels compares the generalized
+// Transfer relation against a literal transcription of the paper's
+// three-case definition, exhaustively, on a battery of two-level systems.
+func TestTransfersMatchesPaperOracleOnTwoLevels(t *testing.T) {
+	oracle := func(s *System, v, u bgp.NodeID, p bgp.ExitPath) bool {
+		if v == u || !s.HasSession(v, u) {
+			return false
+		}
+		if p.ExitPoint == v {
+			return true // case 1
+		}
+		if s.Role(v) == Reflector && s.Role(u) == Reflector && s.Cluster(v) != s.Cluster(u) {
+			w := p.ExitPoint
+			if s.Role(w) == Client && s.Cluster(w) == s.Cluster(v) {
+				return true // case 2
+			}
+		}
+		if s.Role(v) == Reflector && s.Role(u) == Client && s.Cluster(v) == s.Cluster(u) {
+			return p.ExitPoint != u // case 3
+		}
+		return false
+	}
+
+	systems := []*System{}
+	{
+		s, _, _ := twoClusters(t)
+		systems = append(systems, s)
+	}
+	// A richer shape: three clusters, one with two reflectors, plus a
+	// client-client session.
+	b := NewBuilder()
+	k0, k1, k2 := b.NewCluster(), b.NewCluster(), b.NewCluster()
+	r0a := b.Reflector("r0a", k0)
+	r0b := b.Reflector("r0b", k0)
+	c0a := b.Client("c0a", k0)
+	c0b := b.Client("c0b", k0)
+	r1 := b.Reflector("r1", k1)
+	c1 := b.Client("c1", k1)
+	r2 := b.Reflector("r2", k2)
+	b.Link(r0a, r0b, 1).Link(r0a, c0a, 1).Link(r0b, c0b, 1).Link(r0a, r1, 1).Link(r1, c1, 1).Link(r1, r2, 1)
+	b.ClientSession(c0a, c0b)
+	b.Exit(c0a, ExitSpec{NextAS: 1})
+	b.Exit(c0b, ExitSpec{NextAS: 2})
+	b.Exit(c1, ExitSpec{NextAS: 1, MED: 1})
+	b.Exit(r2, ExitSpec{NextAS: 3})
+	s2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	systems = append(systems, s2)
+
+	for si, s := range systems {
+		for _, p := range s.Exits() {
+			for v := 0; v < s.N(); v++ {
+				for u := 0; u < s.N(); u++ {
+					vid, uid := bgp.NodeID(v), bgp.NodeID(u)
+					got := s.Transfers(vid, uid, p)
+					want := oracle(s, vid, uid, p)
+					if got != want {
+						t.Fatalf("system %d: Transfers(%s, %s, p%d) = %v, oracle says %v",
+							si, s.Name(vid), s.Name(uid), p.ID, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSubClusterValidation(t *testing.T) {
+	b := NewBuilder()
+	b.SubCluster(5) // unknown parent
+	if _, err := b.Build(); err == nil {
+		t.Fatal("invalid parent accepted")
+	}
+}
+
+func TestHierarchyJSONRoundTrip(t *testing.T) {
+	sys, _, _ := threeLevels(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys2.NumClusters() != sys.NumClusters() {
+		t.Fatal("cluster count changed")
+	}
+	for k := 0; k < sys.NumClusters(); k++ {
+		if sys2.ClusterParent(k) != sys.ClusterParent(k) {
+			t.Fatalf("parent of cluster %d changed", k)
+		}
+	}
+	for u := 0; u < sys.N(); u++ {
+		for v := 0; v < sys.N(); v++ {
+			uid, vid := bgp.NodeID(u), bgp.NodeID(v)
+			u2, _ := sys2.NodeByName(sys.Name(uid))
+			v2, _ := sys2.NodeByName(sys.Name(vid))
+			if sys.HasSession(uid, vid) != sys2.HasSession(u2, v2) ||
+				sys.ServedBy(uid, vid) != sys2.ServedBy(u2, v2) {
+				t.Fatalf("relations changed for %s-%s", sys.Name(uid), sys.Name(vid))
+			}
+		}
+	}
+}
+
+func TestHierarchyJSONInvalidParent(t *testing.T) {
+	bad := `{"clusters":[{"reflectors":["a"],"parent":0}],"links":[],"exits":[]}`
+	if _, err := Load(bytes.NewReader([]byte(bad))); err == nil {
+		t.Fatal("self/forward parent accepted")
+	}
+}

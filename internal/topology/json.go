@@ -1,0 +1,220 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/bgp"
+)
+
+// Spec is the JSON-serializable description of a System, consumed by the
+// command-line tools. Nodes are referenced by name.
+type Spec struct {
+	// Comment is free-form and ignored by the loader.
+	Comment string `json:"comment,omitempty"`
+	// Clusters lists the route-reflection clusters.
+	Clusters []ClusterSpec `json:"clusters"`
+	// Links lists the physical IGP links.
+	Links []LinkSpec `json:"links"`
+	// ClientSessions lists optional same-cluster client-client sessions.
+	ClientSessions []SessionSpec `json:"clientSessions,omitempty"`
+	// Exits lists the injected exit paths.
+	Exits []ExitJSON `json:"exits"`
+	// BGPIDs optionally overrides per-node BGP identifiers.
+	BGPIDs map[string]int `json:"bgpIds,omitempty"`
+}
+
+// ClusterSpec names the reflectors and clients of one cluster. Parent,
+// when present, nests the cluster under an earlier cluster (by index),
+// building a multi-level hierarchy.
+type ClusterSpec struct {
+	Reflectors []string `json:"reflectors"`
+	Clients    []string `json:"clients,omitempty"`
+	Parent     *int     `json:"parent,omitempty"`
+}
+
+// LinkSpec is one physical link.
+type LinkSpec struct {
+	A    string `json:"a"`
+	B    string `json:"b"`
+	Cost int64  `json:"cost"`
+}
+
+// SessionSpec is one extra client-client I-BGP session.
+type SessionSpec struct {
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+// ExitJSON is one exit path.
+type ExitJSON struct {
+	At        string  `json:"at"`
+	LocalPref int     `json:"localPref,omitempty"`
+	ASPathLen int     `json:"asPathLen,omitempty"`
+	NextAS    bgp.ASN `json:"nextAS"`
+	MED       int     `json:"med"`
+	ExitCost  int64   `json:"exitCost,omitempty"`
+	NextHopID int     `json:"nextHopId,omitempty"`
+	TieBreak  int     `json:"tieBreak,omitempty"`
+}
+
+// BuildSpec converts a Spec into a System.
+func BuildSpec(spec *Spec) (*System, error) {
+	b := NewBuilder()
+	ids := map[string]bgp.NodeID{}
+	for i, c := range spec.Clusters {
+		var ci int
+		if c.Parent != nil {
+			if *c.Parent < 0 || *c.Parent >= i {
+				return nil, fmt.Errorf("topology: cluster %d has invalid parent %d", i, *c.Parent)
+			}
+			ci = b.SubCluster(*c.Parent)
+		} else {
+			ci = b.NewCluster()
+		}
+		for _, name := range c.Reflectors {
+			ids[name] = b.Reflector(name, ci)
+		}
+		for _, name := range c.Clients {
+			ids[name] = b.Client(name, ci)
+		}
+	}
+	lookup := func(name string) (bgp.NodeID, error) {
+		id, ok := ids[name]
+		if !ok {
+			return -1, fmt.Errorf("topology: unknown node name %q", name)
+		}
+		return id, nil
+	}
+	for _, l := range spec.Links {
+		a, err := lookup(l.A)
+		if err != nil {
+			return nil, err
+		}
+		bn, err := lookup(l.B)
+		if err != nil {
+			return nil, err
+		}
+		b.Link(a, bn, l.Cost)
+	}
+	for _, cs := range spec.ClientSessions {
+		a, err := lookup(cs.A)
+		if err != nil {
+			return nil, err
+		}
+		bn, err := lookup(cs.B)
+		if err != nil {
+			return nil, err
+		}
+		b.ClientSession(a, bn)
+	}
+	for _, e := range spec.Exits {
+		at, err := lookup(e.At)
+		if err != nil {
+			return nil, err
+		}
+		b.Exit(at, ExitSpec{
+			LocalPref: e.LocalPref,
+			ASPathLen: e.ASPathLen,
+			NextAS:    e.NextAS,
+			MED:       e.MED,
+			ExitCost:  e.ExitCost,
+			NextHopID: e.NextHopID,
+			TieBreak:  e.TieBreak,
+		})
+	}
+	for name, id := range spec.BGPIDs {
+		n, err := lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		b.SetBGPID(n, id)
+	}
+	return b.Build()
+}
+
+// Load reads a JSON Spec and builds the System.
+func Load(r io.Reader) (*System, error) {
+	var spec Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("topology: decoding spec: %w", err)
+	}
+	return BuildSpec(&spec)
+}
+
+// ToSpec converts a System back into a serializable Spec. Link costs are
+// recovered from the physical graph, so parallel links collapse to the
+// cheapest.
+func ToSpec(s *System) *Spec {
+	spec := &Spec{}
+	for c := 0; c < s.NumClusters(); c++ {
+		var cs ClusterSpec
+		if p := s.ClusterParent(c); p >= 0 {
+			pp := p
+			cs.Parent = &pp
+		}
+		for _, u := range s.ClusterMembers(c) {
+			if s.Role(u) == Reflector {
+				cs.Reflectors = append(cs.Reflectors, s.Name(u))
+			} else {
+				cs.Clients = append(cs.Clients, s.Name(u))
+			}
+		}
+		spec.Clusters = append(spec.Clusters, cs)
+	}
+	n := s.N()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if s.Phys().HasEdge(bgp.NodeID(u), bgp.NodeID(v)) {
+				spec.Links = append(spec.Links, LinkSpec{
+					A:    s.Name(bgp.NodeID(u)),
+					B:    s.Name(bgp.NodeID(v)),
+					Cost: s.Phys().EdgeCost(bgp.NodeID(u), bgp.NodeID(v)),
+				})
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			uID, vID := bgp.NodeID(u), bgp.NodeID(v)
+			if s.Role(uID) == Client && s.Role(vID) == Client && s.HasSession(uID, vID) {
+				spec.ClientSessions = append(spec.ClientSessions, SessionSpec{A: s.Name(uID), B: s.Name(vID)})
+			}
+		}
+	}
+	for _, p := range s.Exits() {
+		spec.Exits = append(spec.Exits, ExitJSON{
+			At:        s.Name(p.ExitPoint),
+			LocalPref: p.LocalPref,
+			ASPathLen: p.ASPathLen,
+			NextAS:    p.NextAS,
+			MED:       p.MED,
+			ExitCost:  p.ExitCost,
+			NextHopID: p.NextHopID,
+			TieBreak:  p.TieBreak,
+		})
+	}
+	spec.BGPIDs = map[string]int{}
+	for u := 0; u < n; u++ {
+		spec.BGPIDs[s.Name(bgp.NodeID(u))] = s.BGPID(bgp.NodeID(u))
+	}
+	return spec
+}
+
+// Save writes the System as indented JSON.
+func Save(w io.Writer, s *System) error {
+	spec := ToSpec(s)
+	sort.Slice(spec.Links, func(i, j int) bool {
+		if spec.Links[i].A != spec.Links[j].A {
+			return spec.Links[i].A < spec.Links[j].A
+		}
+		return spec.Links[i].B < spec.Links[j].B
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spec)
+}

@@ -1,0 +1,120 @@
+// Package trace collects and renders protocol execution traces: the
+// activation events of the formal model (package protocol) and the line
+// traces of the message-level simulator (package msgsim), plus summary
+// counters used by the command-line tools.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/bgp"
+	"repro/internal/protocol"
+	"repro/internal/topology"
+)
+
+// Recorder accumulates engine events. It is safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	sys    *topology.System
+	events []protocol.Event
+	// BestChanges counts events that changed a best route.
+	bestChanges int
+	limit       int
+}
+
+// NewRecorder returns a recorder for events over sys. limit bounds the
+// retained events (0 means 100000); counting continues past the limit.
+func NewRecorder(sys *topology.System, limit int) *Recorder {
+	if limit <= 0 {
+		limit = 100000
+	}
+	return &Recorder{sys: sys, limit: limit}
+}
+
+// Hook returns the callback to register with Engine.Observe.
+func (r *Recorder) Hook() func(protocol.Event) {
+	return func(ev protocol.Event) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if ev.OldBest != ev.NewBest {
+			r.bestChanges++
+		}
+		if len(r.events) < r.limit {
+			r.events = append(r.events, ev)
+		}
+	}
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// BestChanges returns the number of best-route changes observed.
+func (r *Recorder) BestChanges() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bestChanges
+}
+
+// Events returns a copy of the retained events.
+func (r *Recorder) Events() []protocol.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]protocol.Event(nil), r.events...)
+}
+
+// pathName renders a PathID.
+func pathName(id bgp.PathID) string {
+	if id == bgp.None {
+		return "-"
+	}
+	return fmt.Sprintf("p%d", id)
+}
+
+// WriteTo renders the retained events as a table, one line per event that
+// changed something, and returns the number of bytes written.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, ev := range r.events {
+		if ev.OldBest == ev.NewBest {
+			continue
+		}
+		n, err := fmt.Fprintf(w, "step %-5d %-8s best %-4s -> %-4s possible=%s\n",
+			ev.Step, r.sys.Name(ev.Node), pathName(ev.OldBest), pathName(ev.NewBest), ev.Possible)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Summary renders the final routing table of a snapshot.
+func Summary(sys *topology.System, snap protocol.Snapshot) string {
+	var b strings.Builder
+	for u := 0; u < sys.N(); u++ {
+		id := snap.Best[u]
+		fmt.Fprintf(&b, "%-10s best=%-4s", sys.Name(bgp.NodeID(u)), pathName(id))
+		if id != bgp.None {
+			p := sys.Exit(id)
+			fmt.Fprintf(&b, " exit=%-10s nextAS=%-3d med=%-3d metric=%d",
+				sys.Name(p.ExitPoint), p.NextAS, p.MED, sys.Metric(bgp.NodeID(u), p))
+		}
+		fmt.Fprintf(&b, "  advertises=%s\n", snap.Advertised[u])
+	}
+	return b.String()
+}
+
+// ResultLine renders a one-line result summary.
+func ResultLine(policy protocol.Policy, res protocol.Result) string {
+	return fmt.Sprintf("policy=%-8s outcome=%-9s steps=%-6d bestChanges=%-6d messages=%d",
+		policy, res.Outcome, res.Steps, res.BestChanges, res.Messages)
+}

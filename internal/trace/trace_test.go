@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/protocol"
+	"repro/internal/selection"
+)
+
+func TestRecorderCollectsAndRenders(t *testing.T) {
+	f := figures.Fig14()
+	e := protocol.New(f.Sys, protocol.Classic, selection.Options{})
+	rec := NewRecorder(f.Sys, 0)
+	e.Observe(rec.Hook())
+	res := protocol.Run(e, protocol.RoundRobin(f.Sys.N()), protocol.RunOptions{MaxSteps: 1000})
+	if res.Outcome != protocol.Converged {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	if rec.Len() == 0 || rec.BestChanges() == 0 {
+		t.Fatal("recorder saw nothing")
+	}
+	var sb strings.Builder
+	if _, err := rec.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// The reflectors' own exits are selected at init (before any event),
+	// so the trace shows the clients learning their routes.
+	if !strings.Contains(out, "c1") || !strings.Contains(out, "best") {
+		t.Fatalf("trace output missing content:\n%s", out)
+	}
+	if len(rec.Events()) != rec.Len() {
+		t.Fatal("Events() length mismatch")
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	f := figures.Fig1a()
+	e := protocol.New(f.Sys, protocol.Classic, selection.Options{})
+	rec := NewRecorder(f.Sys, 10)
+	e.Observe(rec.Hook())
+	protocol.Run(e, protocol.RoundRobin(f.Sys.N()), protocol.RunOptions{MaxSteps: 500})
+	if rec.Len() > 10 {
+		t.Fatalf("limit not enforced: %d", rec.Len())
+	}
+	if rec.BestChanges() == 0 {
+		t.Fatal("counting must continue past the limit")
+	}
+}
+
+func TestSummaryAndResultLine(t *testing.T) {
+	f := figures.Fig14()
+	e := protocol.New(f.Sys, protocol.Modified, selection.Options{})
+	res := protocol.Run(e, protocol.RoundRobin(f.Sys.N()), protocol.RunOptions{MaxSteps: 1000})
+	s := Summary(f.Sys, res.Final)
+	for _, want := range []string{"RR1", "c1", "best", "nextAS", "advertises"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+	line := ResultLine(protocol.Modified, res)
+	if !strings.Contains(line, "modified") || !strings.Contains(line, "converged") {
+		t.Fatalf("result line = %q", line)
+	}
+}

@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the decoder with arbitrary bytes: it must never panic,
+// and any message it accepts must re-encode to bytes that decode to the
+// same message (canonicalisation round trip).
+func FuzzDecode(f *testing.F) {
+	seed := []Message{
+		Open{Version: Version, BGPID: 1, NodeID: 2},
+		Keepalive{},
+		Notification{Code: 6, Subcode: 1},
+		Update{Withdrawn: []WithdrawnRoute{{PathID: 1}}, Announced: []RouteRecord{{PathID: 2, TieBreak: -1}}},
+		Update{},
+	}
+	for _, m := range seed {
+		data, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{'I', 'B', 'G', 'P', 0, 7, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("Decode consumed %d of %d bytes", n, len(data))
+		}
+		re, err := Encode(msg)
+		if err != nil {
+			t.Fatalf("accepted message failed to re-encode: %v", err)
+		}
+		msg2, _, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		re2, err := Encode(msg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("encoding not canonical:\n%x\n%x", re, re2)
+		}
+	})
+}
+
+// FuzzReader streams arbitrary bytes through the frame reader: no panics,
+// and no infinite loops on malformed framing.
+func FuzzReader(f *testing.F) {
+	good, _ := Encode(Update{Withdrawn: []WithdrawnRoute{{PathID: 9}}})
+	f.Add(good)
+	f.Add(append(good, good...))
+	f.Add(good[:3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 100; i++ {
+			if _, err := r.ReadMessage(); err != nil {
+				return
+			}
+		}
+	})
+}

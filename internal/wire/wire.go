@@ -1,0 +1,339 @@
+// Package wire defines a compact BGP-flavoured wire protocol for the TCP
+// speakers of package speaker. The format follows BGP-4's framing idea —
+// a fixed header carrying a marker, a length and a message type — with an
+// UPDATE body specialised to the paper's single-destination model: a list
+// of withdrawn exit-path identifiers plus a list of announced exit paths
+// with their full selection attributes.
+//
+// The UPDATE carries whole route records (not just identifiers) so that a
+// receiving speaker never needs out-of-band knowledge of the sender's
+// routes, and it carries *multiple* routes per message because the paper's
+// modified protocol advertises the full MED-survivor set.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bgp"
+)
+
+// Message types, numbered as in BGP-4.
+const (
+	TypeOpen         = 1
+	TypeUpdate       = 2
+	TypeNotification = 3
+	TypeKeepalive    = 4
+)
+
+// Marker opens every message, standing in for BGP's all-ones marker.
+var Marker = [4]byte{'I', 'B', 'G', 'P'}
+
+// MaxMessageSize bounds a serialised message (BGP-4 uses 4096).
+const MaxMessageSize = 65535
+
+// headerSize is marker + length (uint16) + type (uint8).
+const headerSize = 4 + 2 + 1
+
+// Version is the protocol version carried in OPEN.
+const Version = 1
+
+// Errors returned by the decoder.
+var (
+	ErrBadMarker  = errors.New("wire: bad marker")
+	ErrBadLength  = errors.New("wire: bad length")
+	ErrBadType    = errors.New("wire: unknown message type")
+	ErrTruncated  = errors.New("wire: truncated message body")
+	ErrBadVersion = errors.New("wire: unsupported version")
+)
+
+// Open is the session-establishment message.
+type Open struct {
+	Version uint8
+	// BGPID is the speaker's BGP identifier (tie-break value).
+	BGPID uint32
+	// NodeID is the speaker's node index within the shared topology.
+	NodeID uint32
+}
+
+// RouteRecord is one announced route inside an Update, carrying the
+// destination prefix it belongs to and every attribute the selection
+// procedure reads. Single-prefix deployments use Prefix 0 throughout.
+type RouteRecord struct {
+	Prefix    uint32
+	PathID    uint32
+	LocalPref uint32
+	ASPathLen uint16
+	NextAS    uint32
+	MED       uint32
+	ExitPoint uint32
+	ExitCost  uint64
+	NextHopID uint32
+	TieBreak  int32
+}
+
+// FromExitPath converts a model exit path into its wire record.
+func FromExitPath(p bgp.ExitPath) RouteRecord {
+	return RouteRecord{
+		PathID:    uint32(p.ID),
+		LocalPref: uint32(p.LocalPref),
+		ASPathLen: uint16(p.ASPathLen),
+		NextAS:    uint32(p.NextAS),
+		MED:       uint32(p.MED),
+		ExitPoint: uint32(p.ExitPoint),
+		ExitCost:  uint64(p.ExitCost),
+		NextHopID: uint32(p.NextHopID),
+		TieBreak:  int32(p.TieBreak),
+	}
+}
+
+// ExitPath converts the record back into the model type.
+func (r RouteRecord) ExitPath() bgp.ExitPath {
+	return bgp.ExitPath{
+		ID:        bgp.PathID(r.PathID),
+		LocalPref: int(r.LocalPref),
+		ASPathLen: int(r.ASPathLen),
+		NextAS:    bgp.ASN(r.NextAS),
+		MED:       int(r.MED),
+		ExitPoint: bgp.NodeID(r.ExitPoint),
+		ExitCost:  int64(r.ExitCost),
+		NextHopID: int(r.NextHopID),
+		TieBreak:  int(r.TieBreak),
+	}
+}
+
+const routeRecordSize = 4 + 4 + 4 + 2 + 4 + 4 + 4 + 8 + 4 + 4
+
+// WithdrawnRoute identifies one withdrawn route by prefix and path.
+type WithdrawnRoute struct {
+	Prefix uint32
+	PathID uint32
+}
+
+const withdrawnSize = 8
+
+// Update announces and withdraws routes, possibly for several prefixes.
+type Update struct {
+	Withdrawn []WithdrawnRoute
+	Announced []RouteRecord
+}
+
+// Notification reports a protocol error before session teardown.
+type Notification struct {
+	Code    uint8
+	Subcode uint8
+}
+
+// Keepalive is the empty liveness message.
+type Keepalive struct{}
+
+// Message is one of Open, Update, Notification, Keepalive.
+type Message interface{ wireType() byte }
+
+func (Open) wireType() byte         { return TypeOpen }
+func (Update) wireType() byte       { return TypeUpdate }
+func (Notification) wireType() byte { return TypeNotification }
+func (Keepalive) wireType() byte    { return TypeKeepalive }
+
+// Append serialises msg onto buf and returns the extended slice.
+func Append(buf []byte, msg Message) ([]byte, error) {
+	var body []byte
+	switch m := msg.(type) {
+	case Open:
+		body = make([]byte, 9)
+		body[0] = m.Version
+		binary.BigEndian.PutUint32(body[1:5], m.BGPID)
+		binary.BigEndian.PutUint32(body[5:9], m.NodeID)
+	case Update:
+		if len(m.Withdrawn) > 0xffff || len(m.Announced) > 0xffff {
+			return nil, ErrBadLength
+		}
+		body = make([]byte, 0, 4+withdrawnSize*len(m.Withdrawn)+routeRecordSize*len(m.Announced))
+		body = binary.BigEndian.AppendUint16(body, uint16(len(m.Withdrawn)))
+		for _, wd := range m.Withdrawn {
+			body = binary.BigEndian.AppendUint32(body, wd.Prefix)
+			body = binary.BigEndian.AppendUint32(body, wd.PathID)
+		}
+		body = binary.BigEndian.AppendUint16(body, uint16(len(m.Announced)))
+		for _, r := range m.Announced {
+			body = binary.BigEndian.AppendUint32(body, r.Prefix)
+			body = binary.BigEndian.AppendUint32(body, r.PathID)
+			body = binary.BigEndian.AppendUint32(body, r.LocalPref)
+			body = binary.BigEndian.AppendUint16(body, r.ASPathLen)
+			body = binary.BigEndian.AppendUint32(body, r.NextAS)
+			body = binary.BigEndian.AppendUint32(body, r.MED)
+			body = binary.BigEndian.AppendUint32(body, r.ExitPoint)
+			body = binary.BigEndian.AppendUint64(body, r.ExitCost)
+			body = binary.BigEndian.AppendUint32(body, r.NextHopID)
+			body = binary.BigEndian.AppendUint32(body, uint32(r.TieBreak))
+		}
+	case Notification:
+		body = []byte{m.Code, m.Subcode}
+	case Keepalive:
+		body = nil
+	default:
+		return nil, fmt.Errorf("wire: unsupported message %T", msg)
+	}
+	total := headerSize + len(body)
+	if total > MaxMessageSize {
+		return nil, ErrBadLength
+	}
+	buf = append(buf, Marker[:]...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(total))
+	buf = append(buf, msg.wireType())
+	buf = append(buf, body...)
+	return buf, nil
+}
+
+// Encode serialises msg into a fresh buffer.
+func Encode(msg Message) ([]byte, error) { return Append(nil, msg) }
+
+// Decode parses one message from data and returns it along with the number
+// of bytes consumed. It never panics on malformed input.
+func Decode(data []byte) (Message, int, error) {
+	if len(data) < headerSize {
+		return nil, 0, ErrTruncated
+	}
+	for i := range Marker {
+		if data[i] != Marker[i] {
+			return nil, 0, ErrBadMarker
+		}
+	}
+	total := int(binary.BigEndian.Uint16(data[4:6]))
+	if total < headerSize {
+		return nil, 0, ErrBadLength
+	}
+	if len(data) < total {
+		return nil, 0, ErrTruncated
+	}
+	typ := data[6]
+	body := data[headerSize:total]
+	switch typ {
+	case TypeOpen:
+		if len(body) != 9 {
+			return nil, 0, ErrBadLength
+		}
+		m := Open{
+			Version: body[0],
+			BGPID:   binary.BigEndian.Uint32(body[1:5]),
+			NodeID:  binary.BigEndian.Uint32(body[5:9]),
+		}
+		if m.Version != Version {
+			return nil, 0, ErrBadVersion
+		}
+		return m, total, nil
+	case TypeUpdate:
+		m := Update{}
+		if len(body) < 2 {
+			return nil, 0, ErrBadLength
+		}
+		nw := int(binary.BigEndian.Uint16(body[:2]))
+		body = body[2:]
+		if len(body) < withdrawnSize*nw {
+			return nil, 0, ErrBadLength
+		}
+		for i := 0; i < nw; i++ {
+			m.Withdrawn = append(m.Withdrawn, WithdrawnRoute{
+				Prefix: binary.BigEndian.Uint32(body[withdrawnSize*i:]),
+				PathID: binary.BigEndian.Uint32(body[withdrawnSize*i+4:]),
+			})
+		}
+		body = body[withdrawnSize*nw:]
+		if len(body) < 2 {
+			return nil, 0, ErrBadLength
+		}
+		na := int(binary.BigEndian.Uint16(body[:2]))
+		body = body[2:]
+		if len(body) != na*routeRecordSize {
+			return nil, 0, ErrBadLength
+		}
+		for i := 0; i < na; i++ {
+			b := body[i*routeRecordSize:]
+			m.Announced = append(m.Announced, RouteRecord{
+				Prefix:    binary.BigEndian.Uint32(b[0:4]),
+				PathID:    binary.BigEndian.Uint32(b[4:8]),
+				LocalPref: binary.BigEndian.Uint32(b[8:12]),
+				ASPathLen: binary.BigEndian.Uint16(b[12:14]),
+				NextAS:    binary.BigEndian.Uint32(b[14:18]),
+				MED:       binary.BigEndian.Uint32(b[18:22]),
+				ExitPoint: binary.BigEndian.Uint32(b[22:26]),
+				ExitCost:  binary.BigEndian.Uint64(b[26:34]),
+				NextHopID: binary.BigEndian.Uint32(b[34:38]),
+				TieBreak:  int32(binary.BigEndian.Uint32(b[38:42])),
+			})
+		}
+		return m, total, nil
+	case TypeNotification:
+		if len(body) != 2 {
+			return nil, 0, ErrBadLength
+		}
+		return Notification{Code: body[0], Subcode: body[1]}, total, nil
+	case TypeKeepalive:
+		if len(body) != 0 {
+			return nil, 0, ErrBadLength
+		}
+		return Keepalive{}, total, nil
+	default:
+		return nil, 0, ErrBadType
+	}
+}
+
+// Writer frames messages onto an io.Writer.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter returns a message writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WriteMessage serialises and writes one message.
+func (w *Writer) WriteMessage(msg Message) error {
+	var err error
+	w.buf, err = Append(w.buf[:0], msg)
+	if err != nil {
+		return err
+	}
+	_, err = w.w.Write(w.buf)
+	return err
+}
+
+// Reader deframes messages from an io.Reader.
+type Reader struct {
+	r   io.Reader
+	hdr [headerSize]byte
+	buf []byte
+}
+
+// NewReader returns a message reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// ReadMessage reads exactly one message, blocking as needed. It returns
+// io.EOF cleanly when the stream ends between messages.
+func (r *Reader) ReadMessage() (Message, error) {
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, ErrTruncated
+		}
+		return nil, err
+	}
+	total := int(binary.BigEndian.Uint16(r.hdr[4:6]))
+	if total < headerSize {
+		return nil, ErrBadLength
+	}
+	if cap(r.buf) < total {
+		r.buf = make([]byte, total)
+	}
+	buf := r.buf[:total]
+	copy(buf, r.hdr[:])
+	if _, err := io.ReadFull(r.r, buf[headerSize:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, ErrTruncated
+		}
+		return nil, err
+	}
+	msg, _, err := Decode(buf)
+	return msg, err
+}

@@ -1,0 +1,39 @@
+package ibgp
+
+import (
+	"io"
+
+	"repro/internal/sat"
+)
+
+// SAT substrate (package sat): the 3-SAT machinery behind the Section 5
+// NP-completeness proof.
+type (
+	// Formula is a CNF formula.
+	Formula = sat.Formula
+	// SATClause is one disjunction of literals.
+	SATClause = sat.Clause
+	// Literal is a signed variable reference (+v / -v).
+	Literal = sat.Literal
+	// Reduction is the I-BGP instance encoding a formula.
+	Reduction = sat.Reduction
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format.
+func ParseDIMACS(r io.Reader) (*Formula, error) { return sat.ParseDIMACS(r) }
+
+// WriteDIMACS writes a formula in DIMACS format.
+func WriteDIMACS(w io.Writer, f *Formula) error { return sat.WriteDIMACS(w, f) }
+
+// SolveSAT decides satisfiability with DPLL and returns a satisfying
+// assignment (index 0 unused) when one exists.
+func SolveSAT(f *Formula) ([]bool, bool) { return sat.Solve(f) }
+
+// Random3SAT generates a random formula with n variables and m
+// three-literal clauses.
+func Random3SAT(n, m int, seed int64) *Formula { return sat.Random3SAT(n, m, seed) }
+
+// ReduceSAT builds the STABLE I-BGP WITH ROUTE REFLECTION instance for a
+// formula: the instance has a stable solution under classic I-BGP exactly
+// when the formula is satisfiable (Theorem 5.1).
+func ReduceSAT(f *Formula) (*Reduction, error) { return sat.Reduce(f) }

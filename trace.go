@@ -1,0 +1,23 @@
+package ibgp
+
+import (
+	"repro/internal/protocol"
+	"repro/internal/trace"
+)
+
+// Tracing helpers (package trace).
+type (
+	// TraceRecorder accumulates engine events for rendering.
+	TraceRecorder = trace.Recorder
+	// Event is one engine activation event.
+	Event = protocol.Event
+)
+
+// NewTraceRecorder returns a recorder whose Hook can be registered with
+// Engine.Observe; limit bounds retained events (0 = 100000).
+func NewTraceRecorder(sys *System, limit int) *TraceRecorder {
+	return trace.NewRecorder(sys, limit)
+}
+
+// Summary renders the routing table of a snapshot as text.
+func Summary(sys *System, snap Snapshot) string { return trace.Summary(sys, snap) }
