@@ -1,0 +1,143 @@
+// Command ibgplint statically analyses I-BGP route-reflection
+// configurations for structural misconfigurations and oscillation-risk
+// patterns, without running any protocol engine (package lint).
+//
+// Usage:
+//
+//	ibgplint [-json] [-v] [-fail-on none|risk|fail] [-figure NAME|all] [topology.json ...]
+//
+// Each input gets a PASS/RISK/FAIL verdict: FAIL for violations of the
+// paper's structural model (Section 4), RISK when a sufficient
+// oscillation precondition is present (the Section 3 MED/cluster
+// interaction or a cross-cluster dispute cycle), PASS otherwise — with
+// safety certificates explaining why (-v shows them).
+//
+// The exit status is 0 unless -fail-on is set: with -fail-on fail the
+// command exits 1 when any input FAILs, with -fail-on risk when any input
+// is RISK or worse. The default is reporting-only so that linting a
+// directory of example topologies (including deliberately broken
+// fixtures) succeeds in CI.
+//
+// Confederation specs (package confed) are skipped with a note: they
+// describe a different session model.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/figures"
+	"repro/internal/lint"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		asJSON  = flag.Bool("json", false, "emit the reports as JSON")
+		verbose = flag.Bool("v", false, "also print info-level findings (safety certificates)")
+		failOn  = flag.String("fail-on", "none", "exit nonzero at this verdict or worse: none, risk or fail")
+		figure  = flag.String("figure", "", "lint a paper figure ("+fmt.Sprint(cli.FigureNames())+") or \"all\"")
+	)
+	flag.Parse()
+
+	var threshold lint.Verdict
+	switch *failOn {
+	case "none":
+		threshold = lint.VerdictFail + 1
+	case "risk":
+		threshold = lint.VerdictRisk
+	case "fail":
+		threshold = lint.VerdictFail
+	default:
+		fmt.Fprintf(os.Stderr, "ibgplint: unknown -fail-on %q (want none, risk or fail)\n", *failOn)
+		os.Exit(2)
+	}
+	if *figure == "" && flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "ibgplint: nothing to lint; pass topology JSON files and/or -figure")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var reports []*lint.Report
+	if *figure != "" {
+		for _, e := range figures.All() {
+			if *figure == "all" || *figure == e.Name {
+				reports = append(reports, lint.LintSystem("fig"+e.Name, e.Build().Sys))
+			}
+		}
+		if len(reports) == 0 {
+			fmt.Fprintf(os.Stderr, "ibgplint: unknown figure %q (want one of %v or all)\n", *figure, cli.FigureNames())
+			os.Exit(2)
+		}
+	}
+	for _, path := range flag.Args() {
+		reports = append(reports, lintFile(path))
+	}
+
+	var err error
+	if *asJSON {
+		err = lint.WriteJSON(os.Stdout, reports...)
+	} else {
+		err = lint.WriteText(os.Stdout, *verbose, reports...)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ibgplint:", err)
+		os.Exit(2)
+	}
+	for _, r := range reports {
+		if r.Verdict >= threshold {
+			os.Exit(1)
+		}
+	}
+}
+
+// lintFile lints one topology file, folding I/O and parse problems into
+// the report as findings so a bad file cannot abort a multi-file run.
+func lintFile(path string) *lint.Report {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return errorReport(path, "read", err)
+	}
+	if isConfedSpec(data) {
+		return &lint.Report{
+			Source:  path,
+			Verdict: lint.VerdictPass,
+			Findings: []lint.Finding{{
+				Pass:     "parse",
+				Severity: lint.Info,
+				Detail:   "confederation spec (subASes): skipped — confed-BGP uses a different session model",
+			}},
+		}
+	}
+	spec, err := topology.ParseSpec(bytes.NewReader(data))
+	if err != nil {
+		return errorReport(path, "parse", err)
+	}
+	return lint.LintSpec(path, spec)
+}
+
+// isConfedSpec sniffs for the confederation schema's mandatory subASes key.
+func isConfedSpec(data []byte) bool {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false
+	}
+	_, ok := probe["subASes"]
+	return ok
+}
+
+func errorReport(path, pass string, err error) *lint.Report {
+	return &lint.Report{
+		Source:  path,
+		Verdict: lint.VerdictFail,
+		Findings: []lint.Finding{{
+			Pass:     pass,
+			Severity: lint.Error,
+			Detail:   err.Error(),
+		}},
+	}
+}

@@ -1,0 +1,56 @@
+// Command repolint is this repository's own correctness linter. It runs
+// three purely syntactic go/ast checks that encode invariants the paper
+// reproduction depends on:
+//
+//   - exhaustive-switch: a switch over one of the behaviour-steering enums
+//     (protocol.Policy, explore.SuccessorMode, protocol.Outcome) must
+//     either cover every member or carry a default clause. A silently
+//     unhandled Policy means one policy runs another's logic.
+//
+//   - map-range: inside internal/protocol, internal/explore and
+//     internal/selection, ranging over a Go map is banned — iteration
+//     order is nondeterministic and those packages' results are asserted
+//     to be bit-identical across runs (Lemma 7.4 uniqueness, the
+//     experiment tables). Sort the keys, or use clear().
+//
+//   - pathset-mutation: calling Add/Remove/Union on a bgp.PathSet
+//     received by value mutates the caller's bitset through the shared
+//     backing array. Take *PathSet, or Clone() first.
+//
+// Usage:
+//
+//	repolint ./...        # lint the whole module
+//	repolint ./internal/protocol ./cmd/ibgpsim
+//
+// Findings print as "file:line: [check] message"; the exit status is 1 if
+// any finding is reported, 2 on usage or parse errors.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: repolint ./... | dir ...")
+		os.Exit(2)
+	}
+	dirs, err := expandPatterns(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	findings, err := Analyze(dirs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

@@ -13,15 +13,24 @@ import (
 	"repro/internal/topology"
 )
 
-// Figures maps the figure names accepted by -figure flags.
-var Figures = map[string]func() *figures.Fig{
-	"1a": figures.Fig1a, "1b": figures.Fig1b, "2": figures.Fig2, "3": figures.Fig3,
-	"12": figures.Fig12, "13": figures.Fig13, "14": figures.Fig14,
-}
+// Figures maps the figure names accepted by -figure flags. It is derived
+// from the figures.All registry so new figures become addressable
+// everywhere at once.
+var Figures = func() map[string]func() *figures.Fig {
+	m := make(map[string]func() *figures.Fig)
+	for _, e := range figures.All() {
+		m[e.Name] = e.Build
+	}
+	return m
+}()
 
-// FigureNames returns the accepted -figure values, sorted.
+// FigureNames returns the accepted -figure values in figure order.
 func FigureNames() []string {
-	return []string{"1a", "1b", "2", "3", "12", "13", "14"}
+	var names []string
+	for _, e := range figures.All() {
+		names = append(names, e.Name)
+	}
+	return names
 }
 
 // LoadSystem resolves a System from exactly one of a topology JSON path or

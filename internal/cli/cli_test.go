@@ -121,6 +121,14 @@ func TestShippedTopologies(t *testing.T) {
 		t.Fatal("no shipped topologies")
 	}
 	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "broken-") {
+			// Deliberately broken lint fixtures must NOT load; package lint
+			// asserts their diagnostics.
+			if _, err := LoadSystem(filepath.Join(dir, e.Name()), ""); err == nil {
+				t.Fatalf("%s: broken fixture unexpectedly loads", e.Name())
+			}
+			continue
+		}
 		if strings.HasPrefix(e.Name(), "confed-") {
 			// Confederations have their own loader.
 			f, err := os.Open(filepath.Join(dir, e.Name()))

@@ -978,7 +978,7 @@ func E19MultiPrefix(opts Options) Report {
 		sys, err := b.Build()
 		return sys, n, err
 	}
-	hot, nodes, err := mk(func(b *topology.Builder, n map[string]bgp.NodeID) {
+	hot, _, err := mk(func(b *topology.Builder, n map[string]bgp.NodeID) {
 		b.Exit(n["a1"], topology.ExitSpec{NextAS: 2, MED: 0})
 		b.Exit(n["a2"], topology.ExitSpec{NextAS: 1, MED: 1})
 		b.Exit(n["b1"], topology.ExitSpec{NextAS: 1, MED: 0})
@@ -1012,14 +1012,23 @@ func E19MultiPrefix(opts Options) Report {
 			upgradedQuiet++
 		}
 	}
-	hotSettled := net.BestFor(1, nodes["A"]) == 0 // r1
-	pass := quiesced && upgradedHot > 0 && upgradedQuiet == 0 && hotSettled
+	// Which fixed point the partial upgrade freezes on depends on message
+	// timing (only the full modified protocol has a unique outcome —
+	// Theorem 7); the Section 10 claim is quiescence with localized
+	// upgrades, plus every router holding some route for the hot prefix.
+	hotRouted := true
+	for u := 0; u < hot.N(); u++ {
+		if net.BestFor(1, bgp.NodeID(u)) == bgp.None {
+			hotRouted = false
+		}
+	}
+	pass := quiesced && upgradedHot > 0 && upgradedQuiet == 0 && hotRouted
 	return Report{
 		ID:       "E19",
 		Artifact: "Section 10 deployment (per-prefix trigger, TCP)",
 		Claim:    "on shared TCP sessions carrying two prefixes, only the oscillating prefix's flapping routers switch to survivor advertisement; the quiet prefix stays classic and everything quiesces",
-		Measured: fmt.Sprintf("quiesced: %v; upgraded routers — oscillating prefix: %d/%d, quiet prefix: %d/%d; oscillating prefix settled on r1: %v",
-			quiesced, upgradedHot, hot.N(), upgradedQuiet, quiet.N(), hotSettled),
+		Measured: fmt.Sprintf("quiesced: %v; upgraded routers — oscillating prefix: %d/%d, quiet prefix: %d/%d; every router routes the oscillating prefix: %v",
+			quiesced, upgradedHot, hot.N(), upgradedQuiet, quiet.N(), hotRouted),
 		Pass: pass,
 	}
 }

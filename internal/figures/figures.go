@@ -20,6 +20,39 @@ type Fig struct {
 	Paths map[string]bgp.PathID
 }
 
+// Entry is one bundled figure configuration together with the metadata the
+// static-analysis passes and the table-driven tests need: which paper
+// section discusses it and whether classic I-BGP can oscillate on it
+// (persistently, transiently, or sustained by message timing).
+type Entry struct {
+	// Name is the short figure name accepted by -figure flags ("1a", ...).
+	Name string
+	// Title is a one-line description of the configuration.
+	Title string
+	// Section is the paper section that discusses the figure.
+	Section string
+	// Oscillates reports whether classic I-BGP can oscillate on this
+	// configuration under some rule order and schedule. These are exactly
+	// the configurations a sound oscillation-risk linter must flag.
+	Oscillates bool
+	// Build constructs the figure.
+	Build func() *Fig
+}
+
+// All returns every bundled figure in figure order. The slice is freshly
+// allocated; callers may reorder it.
+func All() []Entry {
+	return []Entry{
+		{Name: "1a", Title: "persistent MED oscillation across two clusters", Section: "Section 3", Oscillates: true, Build: Fig1a},
+		{Name: "1b", Title: "full mesh oscillating under the RFC 1771 rule order", Section: "Section 3", Oscillates: true, Build: Fig1b},
+		{Name: "2", Title: "transient oscillation with two stable solutions", Section: "Section 3", Oscillates: true, Build: Fig2},
+		{Name: "3", Title: "message-timing-dependent outcomes (Table 1)", Section: "Section 3", Oscillates: true, Build: Fig3},
+		{Name: "12", Title: "believed vs. real route deflection", Section: "Section 7", Oscillates: false, Build: Fig12},
+		{Name: "13", Title: "Walton counterexample: MED oscillation over four clusters", Section: "Section 8", Oscillates: true, Build: Fig13},
+		{Name: "14", Title: "Dube-Scudder forwarding loop", Section: "Section 8", Oscillates: false, Build: Fig14},
+	}
+}
+
 // Node returns the node named s, panicking on unknown names (figures are
 // static data; a miss is a programming error).
 func (f *Fig) Node(s string) bgp.NodeID {

@@ -1,0 +1,243 @@
+// Package lint is a static oscillation-risk analyzer for I-BGP
+// route-reflection configurations.
+//
+// The paper proves (Section 5) that deciding whether a configuration of
+// I-BGP with route reflection can reach a stable routing is NP-complete,
+// so exhaustive exploration (package explore) cannot scale. This package
+// takes the operational alternative: a set of cheap, named passes that —
+// without running any protocol engine — certify structural well-formedness
+// and detect the *sufficient conditions for trouble* the paper identifies:
+//
+//   - structural misconfigurations: clusters without reflectors, cluster
+//     parent cycles (non-hierarchical reflection, violating the paper's
+//     acyclic-hierarchy assumption), dangling node references, and a
+//     disconnected logical graph G_I (Section 4);
+//   - oscillation-risk patterns: per-neighbouring-AS MED interaction
+//     spanning multiple clusters (the Figure 1(a) precondition, Section 3)
+//     and dispute cycles in the route-preference digraph over reflectors
+//     (the Figure 2 pattern);
+//   - safety certificates: sufficient conditions (full mesh, MED-free
+//     selection, hierarchy-monotone IGP metrics) under which classic
+//     I-BGP provably converges.
+//
+// A pass emits Findings; a Report aggregates them into a PASS/RISK/FAIL
+// verdict. Passes run at two levels: Spec passes inspect a raw
+// topology.Spec (possibly too broken for topology.Build to accept),
+// System passes inspect a built topology.System.
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Severity classifies a finding.
+type Severity int
+
+const (
+	// Info marks an informational note, typically a safety certificate.
+	Info Severity = iota
+	// Risk marks an oscillation-risk pattern: the configuration matches a
+	// sufficient precondition for (transient or persistent) oscillation.
+	Risk
+	// Error marks a structural misconfiguration that violates the model
+	// constraints of Section 4.
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Risk:
+		return "risk"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// MarshalJSON renders the severity as its string form.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// Verdict is the aggregate judgement over a configuration.
+type Verdict int
+
+const (
+	// VerdictPass: no structural errors and no oscillation-risk pattern.
+	VerdictPass Verdict = iota
+	// VerdictRisk: structurally sound, but a sufficient oscillation
+	// precondition is present.
+	VerdictRisk
+	// VerdictFail: the configuration violates the structural constraints.
+	VerdictFail
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictPass:
+		return "PASS"
+	case VerdictRisk:
+		return "RISK"
+	case VerdictFail:
+		return "FAIL"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// MarshalJSON renders the verdict as its string form.
+func (v Verdict) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + v.String() + `"`), nil
+}
+
+// Finding is one diagnostic produced by a pass.
+type Finding struct {
+	// Pass is the name of the pass that produced the finding.
+	Pass string `json:"pass"`
+	// Severity classifies the finding.
+	Severity Severity `json:"severity"`
+	// Nodes lists the router names the finding is anchored at, if any.
+	Nodes []string `json:"nodes,omitempty"`
+	// Paths lists the exit paths involved (as "p<ID>"), if any.
+	Paths []string `json:"paths,omitempty"`
+	// Detail is the human-readable explanation.
+	Detail string `json:"detail"`
+	// Ref cites the paper section the check derives from.
+	Ref string `json:"ref,omitempty"`
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("[%s] %s: %s", f.Pass, f.Severity, f.Detail)
+	if f.Ref != "" {
+		s += " (" + f.Ref + ")"
+	}
+	return s
+}
+
+// Pass is one named static check. Exactly one of Spec and System is
+// non-nil: Spec passes run on raw specifications (and therefore can
+// diagnose configurations Build rejects), System passes require a built,
+// structurally valid System.
+type Pass struct {
+	// Name identifies the pass in findings and reports.
+	Name string
+	// Doc is a one-line description of what the pass checks.
+	Doc string
+	// Ref cites the paper section the pass derives from.
+	Ref string
+	// Spec, when non-nil, runs the pass on a raw specification.
+	Spec func(*topology.Spec) []Finding
+	// System, when non-nil, runs the pass on a built system.
+	System func(*topology.System) []Finding
+}
+
+// Passes returns every registered pass: spec-level structural passes
+// first, then system-level risk and certificate passes.
+func Passes() []Pass {
+	return []Pass{
+		clusterStructurePass(),
+		nodeReferencesPass(),
+		attributesPass(),
+		giConnectivityPass(),
+		medInteractionPass(),
+		disputeCyclePass(),
+		certificatePass(),
+	}
+}
+
+// Report is the outcome of linting one configuration.
+type Report struct {
+	// Source names the configuration (file path, figure name, ...).
+	Source string `json:"source"`
+	// Verdict is the aggregate judgement.
+	Verdict Verdict `json:"verdict"`
+	// Findings lists every diagnostic, in pass order.
+	Findings []Finding `json:"findings"`
+}
+
+// verdict recomputes the aggregate judgement from the findings.
+func (r *Report) verdict() Verdict {
+	v := VerdictPass
+	for _, f := range r.Findings {
+		switch f.Severity {
+		case Error:
+			return VerdictFail
+		case Risk:
+			v = VerdictRisk
+		}
+	}
+	return v
+}
+
+// RiskFindings returns the findings with severity Risk or Error.
+func (r *Report) RiskFindings() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Severity >= Risk {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// HasPass reports whether some finding came from the named pass.
+func (r *Report) HasPass(name string) bool {
+	for _, f := range r.Findings {
+		if f.Pass == name {
+			return true
+		}
+	}
+	return false
+}
+
+// LintSystem runs every system-level pass over a built system.
+func LintSystem(source string, sys *topology.System) *Report {
+	r := &Report{Source: source}
+	for _, p := range Passes() {
+		if p.System != nil {
+			r.Findings = append(r.Findings, p.System(sys)...)
+		}
+	}
+	r.Verdict = r.verdict()
+	return r
+}
+
+// LintSpec runs the spec-level passes over a raw specification; when they
+// find no structural error it builds the System and runs the system-level
+// passes as well. A Build failure the spec passes did not predict is
+// reported as an Error finding of the synthetic "build" pass.
+func LintSpec(source string, spec *topology.Spec) *Report {
+	r := &Report{Source: source}
+	for _, p := range Passes() {
+		if p.Spec != nil {
+			r.Findings = append(r.Findings, p.Spec(spec)...)
+		}
+	}
+	if r.verdict() == VerdictFail {
+		r.Verdict = VerdictFail
+		return r
+	}
+	sys, err := topology.BuildSpec(spec)
+	if err != nil {
+		r.Findings = append(r.Findings, Finding{
+			Pass:     "build",
+			Severity: Error,
+			Detail:   fmt.Sprintf("specification does not build: %v", err),
+			Ref:      "Section 4, model constraints",
+		})
+		r.Verdict = VerdictFail
+		return r
+	}
+	for _, p := range Passes() {
+		if p.System != nil {
+			r.Findings = append(r.Findings, p.System(sys)...)
+		}
+	}
+	r.Verdict = r.verdict()
+	return r
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteText renders reports in the human-readable form the ibgplint
+// command prints: one verdict line per report followed by indented
+// findings (risk and error findings always; info findings only when
+// verbose is set).
+func WriteText(w io.Writer, verbose bool, reports ...*Report) error {
+	for _, r := range reports {
+		if _, err := fmt.Fprintf(w, "%-4s  %s\n", r.Verdict, r.Source); err != nil {
+			return err
+		}
+		for _, f := range r.Findings {
+			if f.Severity == Info && !verbose {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "      %s\n", wrapFinding(f)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// wrapFinding renders one finding on a single logical line, locus first.
+func wrapFinding(f Finding) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] %s", f.Pass, f.Severity)
+	if len(f.Nodes) > 0 {
+		fmt.Fprintf(&b, " at %s", strings.Join(f.Nodes, ","))
+	}
+	if len(f.Paths) > 0 {
+		fmt.Fprintf(&b, " paths %s", strings.Join(f.Paths, ","))
+	}
+	fmt.Fprintf(&b, ": %s", f.Detail)
+	if f.Ref != "" {
+		fmt.Fprintf(&b, " [%s]", f.Ref)
+	}
+	return b.String()
+}
+
+// WriteJSON renders reports as an indented JSON array.
+func WriteJSON(w io.Writer, reports ...*Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}

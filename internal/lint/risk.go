@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bgp"
+	"repro/internal/selection"
+	"repro/internal/topology"
+)
+
+// pathNames renders exit paths as p<ID> labels.
+func pathNames(ps []bgp.ExitPath) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = fmt.Sprintf("p%d", p.ID)
+	}
+	return out
+}
+
+// medInteractionPass detects the Figure 1(a) precondition: among the
+// routes that survive selection rules 1-2, some neighbouring AS announces
+// routes with *different* MED values whose exit points sit in *different*
+// clusters. Then which routes survive the MED comparison at a reflector
+// depends on which routes it currently sees — the visibility toggling that
+// drives the paper's persistent oscillations — while the conflicting IGP
+// metrics of distinct clusters keep the reflectors disagreeing.
+//
+// The condition is sufficient for risk, not for certain divergence:
+// deciding actual stability is NP-complete (Section 5), which is exactly
+// why the linter settles for the cheap precondition.
+func medInteractionPass() Pass {
+	p := Pass{
+		Name: "med-cluster-interaction",
+		Doc:  "per-AS MED conflict across clusters (the Fig 1(a) oscillation precondition)",
+		Ref:  "Section 3, Figure 1(a); Section 5",
+	}
+	p.System = func(sys *topology.System) []Finding {
+		cands := selection.Survivors12(sys.Exits())
+		// Group by neighbouring AS, preserving first-seen order.
+		byAS := map[bgp.ASN][]bgp.ExitPath{}
+		var asns []bgp.ASN
+		for _, e := range cands {
+			if _, ok := byAS[e.NextAS]; !ok {
+				asns = append(asns, e.NextAS)
+			}
+			byAS[e.NextAS] = append(byAS[e.NextAS], e)
+		}
+		sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+		var out []Finding
+		for _, as := range asns {
+			group := byAS[as]
+			meds := map[int]bool{}
+			clusters := map[int]bool{}
+			nodes := map[string]bool{}
+			for _, e := range group {
+				meds[e.MED] = true
+				clusters[sys.Cluster(e.ExitPoint)] = true
+				nodes[sys.Name(e.ExitPoint)] = true
+			}
+			if len(meds) < 2 || len(clusters) < 2 {
+				continue
+			}
+			names := make([]string, 0, len(nodes))
+			for n := range nodes {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			out = append(out, Finding{
+				Pass: p.Name, Severity: Risk, Ref: p.Ref,
+				Nodes: names,
+				Paths: pathNames(group),
+				Detail: fmt.Sprintf(
+					"neighbouring AS %d announces %d routes with unequal MEDs at exit points spanning %d clusters; "+
+						"MED elimination then depends on route visibility, which route reflection restricts — "+
+						"the precondition for the paper's persistent oscillations",
+					as, len(group), len(clusters)),
+			})
+		}
+		return out
+	}
+	return p
+}
+
+// disputeCyclePass detects the Figure 2 pattern: a cycle in the
+// route-preference digraph over reflectors. The digraph has an edge
+// r -> r' when reflector r, comparing the rule-1/2 survivors by IGP
+// metric (selection rule 5), strictly prefers some exit path served under
+// r' to *every* exit path in r's own service subtree. Such an r only
+// selects its subtree route while r' advertises the better one, so along
+// a cycle the reflectors' choices feed back into each other — a dispute
+// cycle, the structure underlying both of Figure 2's phenomena (schedule-
+// dependent outcomes and the oscillating synchronous run).
+//
+// Reflectors holding an E-BGP route of their own never join the digraph:
+// under the paper's rule order E-BGP beats I-BGP, so their choice cannot
+// depend on other reflectors.
+func disputeCyclePass() Pass {
+	p := Pass{
+		Name: "dispute-cycle",
+		Doc:  "cyclic cross-cluster preference among reflectors (the Fig 2 pattern)",
+		Ref:  "Section 3, Figure 2",
+	}
+	p.System = func(sys *topology.System) []Finding {
+		cands := selection.Survivors12(sys.Exits())
+		n := sys.N()
+		// Edges of the preference digraph, and for the report the exit path
+		// that witnesses each edge.
+		type edge struct {
+			to      bgp.NodeID
+			witness bgp.ExitPath
+		}
+		adj := make([][]edge, n)
+		for u := 0; u < n; u++ {
+			r := bgp.NodeID(u)
+			if sys.Role(r) != topology.Reflector {
+				continue
+			}
+			var own, foreign []bgp.ExitPath
+			ebgp := false
+			for _, e := range cands {
+				switch {
+				case e.ExitPoint == r:
+					ebgp = true
+				case sys.BelowOrSelf(r, e.ExitPoint):
+					own = append(own, e)
+				default:
+					foreign = append(foreign, e)
+				}
+			}
+			if ebgp || len(own) == 0 {
+				continue
+			}
+			bestOwn := sys.Metric(r, own[0])
+			for _, e := range own[1:] {
+				if m := sys.Metric(r, e); m < bestOwn {
+					bestOwn = m
+				}
+			}
+			for _, f := range foreign {
+				if sys.Metric(r, f) >= bestOwn {
+					continue
+				}
+				for v := 0; v < n; v++ {
+					rr := bgp.NodeID(v)
+					if rr != r && sys.Role(rr) == topology.Reflector && sys.BelowOrSelf(rr, f.ExitPoint) {
+						adj[u] = append(adj[u], edge{to: rr, witness: f})
+					}
+				}
+			}
+		}
+		// Find a directed cycle by DFS with colours.
+		const (
+			white = iota
+			grey
+			black
+		)
+		colour := make([]int, n)
+		parent := make([]int, n)
+		parentWitness := make([]bgp.ExitPath, n)
+		var cycle []bgp.NodeID
+		var witnesses []bgp.ExitPath
+		var dfs func(u int) bool
+		dfs = func(u int) bool {
+			colour[u] = grey
+			for _, e := range adj[u] {
+				v := int(e.to)
+				switch colour[v] {
+				case white:
+					parent[v] = u
+					parentWitness[v] = e.witness
+					if dfs(v) {
+						return true
+					}
+				case grey:
+					// Unwind u -> ... -> v plus the closing edge.
+					cycle = []bgp.NodeID{e.to}
+					witnesses = []bgp.ExitPath{e.witness}
+					for x := u; ; x = parent[x] {
+						cycle = append(cycle, bgp.NodeID(x))
+						if x == v {
+							break
+						}
+						witnesses = append(witnesses, parentWitness[x])
+					}
+					// Reverse into forward order v -> ... -> u -> v.
+					for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+						cycle[i], cycle[j] = cycle[j], cycle[i]
+					}
+					return true
+				}
+			}
+			colour[u] = black
+			return false
+		}
+		for u := 0; u < n && cycle == nil; u++ {
+			if colour[u] == white {
+				dfs(u)
+			}
+		}
+		if cycle == nil {
+			return nil
+		}
+		names := make([]string, len(cycle))
+		for i, u := range cycle {
+			names[i] = sys.Name(u)
+		}
+		return []Finding{{
+			Pass: p.Name, Severity: Risk, Ref: p.Ref,
+			Nodes: names,
+			Paths: pathNames(witnesses),
+			Detail: fmt.Sprintf(
+				"reflectors %s form a preference cycle: each prefers (by IGP metric) an exit path served under the next "+
+					"over every exit path in its own subtree, so their selections feed back into each other — "+
+					"outcomes become schedule-dependent and synchronous activations can oscillate",
+				strings.Join(names, " -> ")),
+		}}
+	}
+	return p
+}

@@ -125,15 +125,17 @@ func TestCycleWitness(t *testing.T) {
 	// last To.
 	first := map[bgp.NodeID]bgp.PathID{}
 	last := map[bgp.NodeID]bgp.PathID{}
+	var order []bgp.NodeID
 	for _, st := range steps {
 		if _, seen := first[st.Node]; !seen {
 			first[st.Node] = st.From
+			order = append(order, st.Node)
 		}
 		last[st.Node] = st.To
 	}
-	for node, f := range first {
-		if last[node] != f {
-			t.Fatalf("node %d: cycle does not close (%d -> %d)", node, f, last[node])
+	for _, node := range order {
+		if last[node] != first[node] {
+			t.Fatalf("node %d: cycle does not close (%d -> %d)", node, first[node], last[node])
 		}
 	}
 	// A convergent system yields no witness.

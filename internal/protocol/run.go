@@ -106,9 +106,7 @@ func Run(e *Engine, sch Schedule, opts RunOptions) Result {
 		countBestChanges()
 
 		if changed {
-			for k := range quietNodes {
-				delete(quietNodes, k)
-			}
+			clear(quietNodes)
 		} else {
 			for _, u := range set {
 				quietNodes[u] = true
@@ -123,9 +121,7 @@ func Run(e *Engine, sch Schedule, opts RunOptions) Result {
 				res.Final = e.Snapshot()
 				return res
 			}
-			for k := range quietNodes {
-				delete(quietNodes, k)
-			}
+			clear(quietNodes)
 		}
 
 		if detect && period > 0 {

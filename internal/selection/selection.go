@@ -224,14 +224,14 @@ func Best(cands []bgp.Route, opts Options) (bgp.Route, bool) {
 	return win, true
 }
 
-// SurvivorsB runs Choose^B (Figure 10): the prefix of the selection
-// procedure through the MED rule, applied to exit paths. These are the
-// routes the modified protocol advertises. The result is sorted by PathID.
-//
-// Rules 1-3 read only injection-time attributes (LOCAL-PREF, AS-PATH
-// length, NextAS, MED), so Choose^B is well-defined on exit paths without
-// reference to a particular router.
-func SurvivorsB(paths []bgp.ExitPath, mode MEDMode) []bgp.ExitPath {
+// Survivors12 applies rules 1 and 2 of the selection procedure to exit
+// paths: the routes with maximal LOCAL-PREF and, among those, minimal
+// AS-PATH length. Both rules read only injection-time attributes, so the
+// result is router-independent — it is the candidate set within which MED
+// comparison (rule 3) and IGP metrics (rule 5) decide, and therefore the
+// set the static oscillation-risk passes of package lint reason about.
+// The returned slice is freshly allocated.
+func Survivors12(paths []bgp.ExitPath) []bgp.ExitPath {
 	if len(paths) == 0 {
 		return nil
 	}
@@ -261,6 +261,21 @@ func SurvivorsB(paths []bgp.ExitPath, mode MEDMode) []bgp.ExitPath {
 			step2 = append(step2, p)
 		}
 	}
+	return step2
+}
+
+// SurvivorsB runs Choose^B (Figure 10): the prefix of the selection
+// procedure through the MED rule, applied to exit paths. These are the
+// routes the modified protocol advertises. The result is sorted by PathID.
+//
+// Rules 1-3 read only injection-time attributes (LOCAL-PREF, AS-PATH
+// length, NextAS, MED), so Choose^B is well-defined on exit paths without
+// reference to a particular router.
+func SurvivorsB(paths []bgp.ExitPath, mode MEDMode) []bgp.ExitPath {
+	if len(paths) == 0 {
+		return nil
+	}
+	step2 := Survivors12(paths)
 	// Rule 3.
 	var out []bgp.ExitPath
 	if mode == AlwaysCompare {
@@ -297,13 +312,17 @@ func SurvivorsB(paths []bgp.ExitPath, mode MEDMode) []bgp.ExitPath {
 // that AS existed. The result is ordered by AS number. This is the
 // computation underlying the Walton et al. advertisement rule.
 func BestPerAS(cands []bgp.Route, opts Options) []bgp.Route {
+	// Collect the AS list while grouping rather than ranging over the map
+	// afterwards: map iteration order is nondeterministic, and this
+	// function feeds the advertisement sets whose determinism Lemma 7.4
+	// relies on.
 	byAS := make(map[bgp.ASN][]bgp.Route)
+	asns := make([]bgp.ASN, 0, 4)
 	for _, r := range cands {
+		if _, ok := byAS[r.Path.NextAS]; !ok {
+			asns = append(asns, r.Path.NextAS)
+		}
 		byAS[r.Path.NextAS] = append(byAS[r.Path.NextAS], r)
-	}
-	asns := make([]bgp.ASN, 0, len(byAS))
-	for a := range byAS {
-		asns = append(asns, a)
 	}
 	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
 	out := make([]bgp.Route, 0, len(asns))

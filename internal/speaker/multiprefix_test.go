@@ -103,9 +103,14 @@ func TestMultiPrefixPerPrefixAdaptive(t *testing.T) {
 	if upgradedHot == 0 {
 		t.Fatal("no router upgraded on the oscillating prefix")
 	}
-	// The oscillating prefix settled on r1 at the reflectors.
-	if got := n.BestFor(1, nodes["A"]); got != 0 {
-		t.Fatalf("prefix 1: A best = p%d", got)
+	// Which fixed point the partial upgrade freezes on is timing-dependent
+	// (only the full modified protocol has a unique outcome); what Section
+	// 10 guarantees is that the frozen state routes the hot prefix
+	// everywhere.
+	for name, u := range nodes {
+		if n.BestFor(1, u) == bgp.None {
+			t.Fatalf("prefix 1: %s has no route after quiescence", name)
+		}
 	}
 }
 

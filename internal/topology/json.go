@@ -125,25 +125,45 @@ func BuildSpec(spec *Spec) (*System, error) {
 			TieBreak:  e.TieBreak,
 		})
 	}
-	for name, id := range spec.BGPIDs {
+	// Apply BGP id overrides in sorted name order so that which error is
+	// reported (and which duplicate wins the Build-time check) does not
+	// depend on map iteration order.
+	names := make([]string, 0, len(spec.BGPIDs))
+	for name := range spec.BGPIDs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		n, err := lookup(name)
 		if err != nil {
 			return nil, err
 		}
-		b.SetBGPID(n, id)
+		b.SetBGPID(n, spec.BGPIDs[name])
 	}
 	return b.Build()
 }
 
-// Load reads a JSON Spec and builds the System.
-func Load(r io.Reader) (*System, error) {
+// ParseSpec decodes a JSON Spec without validating or building it. Unknown
+// fields are rejected, so a confederation spec (package confed) does not
+// silently half-parse. The static analyzer (package lint) uses this to
+// inspect configurations too broken for Build to accept.
+func ParseSpec(r io.Reader) (*Spec, error) {
 	var spec Spec
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
 		return nil, fmt.Errorf("topology: decoding spec: %w", err)
 	}
-	return BuildSpec(&spec)
+	return &spec, nil
+}
+
+// Load reads a JSON Spec and builds the System.
+func Load(r io.Reader) (*System, error) {
+	spec, err := ParseSpec(r)
+	if err != nil {
+		return nil, err
+	}
+	return BuildSpec(spec)
 }
 
 // ToSpec converts a System back into a serializable Spec. Link costs are

@@ -1,0 +1,71 @@
+package ibgp
+
+import (
+	"io"
+
+	"repro/internal/lint"
+	"repro/internal/topology"
+)
+
+// Static analysis (package lint): PASS/RISK/FAIL verdicts over a
+// configuration without running any protocol engine.
+type (
+	// LintReport is the outcome of linting one configuration.
+	LintReport = lint.Report
+	// LintFinding is one diagnostic produced by a lint pass.
+	LintFinding = lint.Finding
+	// LintPass is one named static check.
+	LintPass = lint.Pass
+	// LintVerdict is the aggregate PASS/RISK/FAIL judgement.
+	LintVerdict = lint.Verdict
+	// LintSeverity classifies a lint finding.
+	LintSeverity = lint.Severity
+)
+
+// Lint verdicts.
+const (
+	// LintPassVerdict: no structural errors, no oscillation-risk pattern.
+	LintPassVerdict = lint.VerdictPass
+	// LintRiskVerdict: structurally sound, but a sufficient oscillation
+	// precondition (Section 3) is present.
+	LintRiskVerdict = lint.VerdictRisk
+	// LintFailVerdict: the configuration violates the Section 4 model
+	// constraints.
+	LintFailVerdict = lint.VerdictFail
+)
+
+// Lint finding severities.
+const (
+	// LintInfo marks a safety certificate or note.
+	LintInfo = lint.Info
+	// LintRisk marks an oscillation-risk pattern.
+	LintRisk = lint.Risk
+	// LintError marks a structural misconfiguration.
+	LintError = lint.Error
+)
+
+// LintSystem statically analyses a built System.
+func LintSystem(source string, sys *System) *LintReport { return lint.LintSystem(source, sys) }
+
+// LintSpec statically analyses a raw specification: structural passes run
+// first (so configurations too broken to Build are still diagnosed), then
+// the risk and certificate passes on the built System.
+func LintSpec(source string, spec *Spec) *LintReport { return lint.LintSpec(source, spec) }
+
+// LintPasses returns every registered lint pass.
+func LintPasses() []LintPass { return lint.Passes() }
+
+// ParseSpec decodes a topology specification from JSON without building
+// it, for use with LintSpec.
+func ParseSpec(r io.Reader) (*Spec, error) { return topology.ParseSpec(r) }
+
+// WriteLintText renders reports as human-readable text; verbose includes
+// info-level findings (the safety certificates).
+func WriteLintText(w io.Writer, verbose bool, reports ...*LintReport) error {
+	return lint.WriteText(w, verbose, reports...)
+}
+
+// WriteLintJSON renders reports as an indented JSON array.
+func WriteLintJSON(w io.Writer, reports ...*LintReport) error {
+	return lint.WriteJSON(w, reports...)
+}
