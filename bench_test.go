@@ -1,7 +1,7 @@
 package ibgp
 
 // The benchmark harness regenerates every evaluation artifact of the
-// paper: one Benchmark per experiment (E1-E22, each printing its measured
+// paper: one Benchmark per experiment (E1-E23, each printing its measured
 // outcome via the experiments package on the first iteration), plus
 // micro-benchmarks of the substrates (selection, IGP, codec, engines).
 // Run with:
@@ -64,6 +64,7 @@ func BenchmarkE21EBGPChurn(b *testing.B) { benchExperiment(b, experiments.E21EBG
 func BenchmarkE22MEDPrevalence(b *testing.B) {
 	benchExperiment(b, experiments.E22MEDPrevalence)
 }
+func BenchmarkE23Census(b *testing.B) { benchExperiment(b, experiments.E23Census) }
 
 // --- convergence scaling: the E11 sweep as per-size benchmarks ---------------
 

@@ -1,0 +1,44 @@
+package ibgp
+
+import (
+	"context"
+
+	"repro/internal/campaign"
+	"repro/internal/workload"
+)
+
+// Mass surveys (package campaign): shard a seed range across a worker
+// pool, classify every seed's random system, and fold the results into a
+// deterministic aggregate with JSONL checkpointing and resume. The
+// aggregate depends only on the job and the seed range — never on the
+// shard count or on kill/resume boundaries.
+type (
+	// CampaignJob is the pluggable per-seed unit of work.
+	CampaignJob = campaign.Job
+	// CampaignConfig tunes sharding, checkpointing and progress.
+	CampaignConfig = campaign.Config
+	// CampaignAggregate is the deterministic summary of a campaign.
+	CampaignAggregate = campaign.Aggregate
+	// CampaignSeedResult is one seed's outcome.
+	CampaignSeedResult = campaign.SeedResult
+	// CampaignProgress is a point-in-time progress snapshot.
+	CampaignProgress = campaign.ProgressReport
+	// CensusJob classifies random systems under every advertisement
+	// policy, exhaustively where the state space fits the budget.
+	CensusJob = campaign.CensusJob
+	// Fig13Job reproduces the paper's Figure 13 counterexample hunt as a
+	// campaign over the crossed random family.
+	Fig13Job = campaign.Fig13Job
+	// FuzzJob surveys message-level timing dependence with msgsim.
+	FuzzJob = campaign.FuzzJob
+	// WorkloadParams selects a random system family.
+	WorkloadParams = workload.Params
+)
+
+// RunCampaign executes a job over a seed range; see campaign.Run.
+func RunCampaign(ctx context.Context, job CampaignJob, cfg CampaignConfig) (*CampaignAggregate, error) {
+	return campaign.Run(ctx, job, cfg)
+}
+
+// DefaultWorkloadParams returns the medium random family with c clusters.
+func DefaultWorkloadParams(c int) WorkloadParams { return workload.Default(c) }

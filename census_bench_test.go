@@ -1,0 +1,103 @@
+package ibgp
+
+// BenchmarkCensus measures the campaign engine on a fixed 500-seed census
+// and records the serial-vs-sharded wall clock in BENCH_census.json so the
+// perf trajectory accumulates across commits. The two configurations must
+// produce byte-identical aggregates — the speedup may never come from
+// changed results.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/workload"
+)
+
+// benchCensusJob is the pinned benchmark workload: 500 seeds of the
+// 2-cluster MED-rich family used by E23, small enough to explore
+// exhaustively per seed but large enough to keep every worker busy.
+func benchCensusJob() (campaign.CensusJob, campaign.Config) {
+	job := campaign.CensusJob{
+		Params: workload.Params{
+			Clusters: 2, MinClients: 1, MaxClients: 2, ASes: 2,
+			Exits: 4, MaxMED: 2, MaxCost: 8, ExtraLinks: 2,
+		},
+		MaxStates: 1500,
+	}
+	return job, campaign.Config{Start: 1, Seeds: 500}
+}
+
+func runCensus(b *testing.B, shards int) ([]byte, time.Duration) {
+	b.Helper()
+	job, cfg := benchCensusJob()
+	cfg.Shards = shards
+	begin := time.Now()
+	agg, err := campaign.Run(context.Background(), job, cfg)
+	elapsed := time.Since(begin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out, err := json.Marshal(agg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out, elapsed
+}
+
+func BenchmarkCensus(b *testing.B) {
+	shards := runtime.GOMAXPROCS(0)
+	var serial, sharded time.Duration
+	var aggJSON []byte
+	for i := 0; i < b.N; i++ {
+		serialJSON, t1 := runCensus(b, 1)
+		shardedJSON, tN := runCensus(b, shards)
+		if string(serialJSON) != string(shardedJSON) {
+			b.Fatalf("shards=1 and shards=%d aggregates diverge:\n%s\nvs\n%s",
+				shards, serialJSON, shardedJSON)
+		}
+		serial, sharded, aggJSON = t1, tN, serialJSON
+	}
+	b.ReportMetric(serial.Seconds()/sharded.Seconds(), "speedup")
+
+	var agg campaign.Aggregate
+	if err := json.Unmarshal(aggJSON, &agg); err != nil {
+		b.Fatal(err)
+	}
+	record := struct {
+		Job        string  `json:"job"`
+		Seeds      int     `json:"seeds"`
+		Shards     int     `json:"shards"`
+		SerialSec  float64 `json:"serial_sec"`
+		ShardedSec float64 `json:"sharded_sec"`
+		Speedup    float64 `json:"speedup"`
+		ClassicOsc int     `json:"classic_osc"`
+		WaltonOsc  int     `json:"walton_osc"`
+		Exhaustive int     `json:"exhaustive"`
+		States     int64   `json:"total_states"`
+		Identical  bool    `json:"aggregates_identical"`
+	}{
+		Job:        "census/2-cluster-med-rich",
+		Seeds:      500,
+		Shards:     shards,
+		SerialSec:  serial.Seconds(),
+		ShardedSec: sharded.Seconds(),
+		Speedup:    serial.Seconds() / sharded.Seconds(),
+		ClassicOsc: agg.ClassicOsc,
+		WaltonOsc:  agg.WaltonOsc,
+		Exhaustive: agg.Exhaustive,
+		States:     agg.TotalStates,
+		Identical:  true,
+	}
+	out, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_census.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -38,6 +38,7 @@ func main() {
 		"E18": experiments.E18SyncConvergence, "E19": experiments.E19MultiPrefix,
 		"E20": experiments.E20MetricAdjustment, "E21": experiments.E21EBGPChurn,
 		"E22": experiments.E22MEDPrevalence,
+		"E23": experiments.E23Census,
 	}
 
 	var reports []experiments.Report

@@ -1,0 +1,131 @@
+// Command ibgpcensus runs a parallel oscillation census over random
+// route-reflection systems: a seed range is sharded across a worker pool,
+// every seed's configuration is classified under each advertisement policy
+// (exhaustively where the reachable state space fits the budget), and the
+// results stream into a deterministic aggregate. The aggregate depends
+// only on the job and the seed range — never on -shards, checkpoint
+// timing, or kill/resume boundaries — so census numbers are reproducible
+// byte for byte.
+//
+// Usage:
+//
+//	ibgpcensus [-job census|fig13|fuzz] [-shards N] [-seeds N] [-start S]
+//	           [-params k=v,...] [-max-states N] [-schedules N]
+//	           [-checkpoint FILE] [-resume] [-json] [-progress DUR]
+//	           [-timeout DUR]
+//
+// Examples:
+//
+//	ibgpcensus -seeds 500 -json                      # classic census
+//	ibgpcensus -job fig13 -start 8000 -seeds 2000    # Figure 13 hunt
+//	ibgpcensus -seeds 10000 -checkpoint c.jsonl      # checkpointed...
+//	ibgpcensus -seeds 10000 -checkpoint c.jsonl -resume   # ...and resumed
+//
+// -params overrides fields of the job's default family, e.g.
+// "clusters=4,maxmed=2,exits=8" (census/fuzz) or
+// "clusters=4,twoclienton=0,dotted=0.5" (fig13).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/campaign"
+	"repro/internal/cli"
+	"repro/internal/protocol"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		jobName    = flag.String("job", "census", "job kind: census, fig13 or fuzz")
+		shards     = flag.Int("shards", 0, "worker count (0: GOMAXPROCS); never changes the results, only the wall-clock")
+		seeds      = flag.Int("seeds", 256, "number of consecutive seeds")
+		start      = flag.Int64("start", 1, "first seed")
+		params     = flag.String("params", "", "family overrides, comma-separated key=value")
+		maxStates  = flag.Int("max-states", 4000, "per-variant reachable-state budget for the census job (0: sampling only)")
+		schedules  = flag.Int("schedules", 4, "delay seeds per topology seed (fuzz job)")
+		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint path")
+		resume     = flag.Bool("resume", false, "resume from -checkpoint, running only missing seeds")
+		jsonOut    = flag.Bool("json", false, "write the aggregate as indented JSON on stdout")
+		progress   = flag.Duration("progress", 0, "progress report interval on stderr (0: off)")
+		timeout    = flag.Duration("timeout", 0, "overall deadline (0: none)")
+	)
+	flag.Parse()
+
+	var job campaign.Job
+	switch *jobName {
+	case "census":
+		p, err := cli.ParseWorkloadParams(*params, workload.Default(3))
+		if err != nil {
+			fatal(err)
+		}
+		job = campaign.CensusJob{Params: p, MaxStates: *maxStates}
+	case "fig13":
+		spec, err := cli.ParseCrossedSpec(*params, workload.CrossedSpec{
+			Clusters: 4, TwoClientOn: 0, ASes: 2, MaxMED: 2, DottedProb: 0.5,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		job = campaign.Fig13Job{Spec: spec}
+	case "fuzz":
+		p, err := cli.ParseWorkloadParams(*params, workload.Default(3))
+		if err != nil {
+			fatal(err)
+		}
+		job = campaign.FuzzJob{Params: p, Policy: protocol.Classic, Schedules: *schedules}
+	default:
+		fatal(fmt.Errorf("unknown -job %q (want census, fig13 or fuzz)", *jobName))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	cfg := campaign.Config{
+		Shards:     *shards,
+		Start:      *start,
+		Seeds:      *seeds,
+		Checkpoint: *checkpoint,
+		Resume:     *resume,
+	}
+	if *progress > 0 {
+		cfg.ProgressEvery = *progress
+		cfg.Progress = func(p campaign.ProgressReport) {
+			fmt.Fprintln(os.Stderr, p)
+		}
+	}
+
+	agg, err := campaign.Run(ctx, job, cfg)
+	if err != nil {
+		if agg != nil && *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "ibgpcensus: interrupted after %d/%d seeds; resume with -resume -checkpoint %s\n",
+				agg.Completed, *seeds, *checkpoint)
+		}
+		fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(agg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Print(agg)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ibgpcensus:", err)
+	os.Exit(1)
+}

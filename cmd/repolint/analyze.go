@@ -53,6 +53,19 @@ var mutatingPathSetMethods = map[string]bool{
 	"Union":  true,
 }
 
+// globalRandFuncs are the top-level math/rand functions that draw from the
+// shared, process-global source. Every random draw in internal/... must come
+// from an explicitly seeded *rand.Rand (rand.New(rand.NewSource(seed))):
+// census and experiment results are keyed by seed, and a single global draw
+// makes them irreproducible. Constructors (New, NewSource, NewZipf) are the
+// sanctioned way in and stay allowed.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
 // pkg is one parsed directory of Go files.
 type pkg struct {
 	dir   string
@@ -173,12 +186,16 @@ func Analyze(dirs []string) ([]Finding, error) {
 			paths = append(paths, path)
 		}
 		sort.Strings(paths)
+		internal := strings.Contains(filepath.ToSlash(p.dir)+"/", "internal/")
 		for _, path := range paths {
 			file := p.files[path]
 			a.checkSwitches(p, file)
 			a.checkPathSetMutation(file)
 			if det {
 				a.checkMapRange(file)
+			}
+			if internal {
+				a.checkGlobalRand(file)
 			}
 		}
 	}
@@ -427,6 +444,42 @@ func (a *analyzer) checkMapRange(file *ast.File) {
 			return true
 		})
 	}
+}
+
+// checkGlobalRand flags calls of top-level math/rand functions in
+// internal packages: they draw from the process-global source, so results
+// stop being a pure function of the seed. The import's local name is
+// tracked so aliased imports don't dodge the check.
+func (a *analyzer) checkGlobalRand(file *ast.File) {
+	randName := ""
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != "math/rand" {
+			continue
+		}
+		randName = "rand"
+		if imp.Name != nil {
+			randName = imp.Name.Name
+		}
+	}
+	if randName == "" || randName == "_" || randName == "." {
+		return
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !globalRandFuncs[sel.Sel.Name] {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == randName && id.Obj == nil {
+			a.report(call.Pos(), "global-rand",
+				"%s.%s draws from the process-global math/rand source: results are no longer a pure "+
+					"function of the seed — use rand.New(rand.NewSource(seed)) instead", randName, sel.Sel.Name)
+		}
+		return true
+	})
 }
 
 // checkPathSetMutation flags calls of a mutating PathSet method on a

@@ -275,3 +275,84 @@ func TestRepoIsClean(t *testing.T) {
 		t.Errorf("%v", f)
 	}
 }
+
+// TestSeededGlobalRand proves top-level math/rand calls are flagged inside
+// internal packages — including under an import alias — while explicitly
+// seeded sources, constructor calls, shadowing locals and non-internal
+// packages stay clean.
+func TestSeededGlobalRand(t *testing.T) {
+	findings := analyzeTree(t, map[string]string{
+		"internal/foo/foo.go": `package foo
+
+import "math/rand"
+
+func draw() int {
+	return rand.Intn(10)
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+`,
+		"internal/bar/bar.go": `package bar
+
+import mrand "math/rand"
+
+func shuffle(xs []int) {
+	mrand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+`,
+		"internal/baz/baz.go": `package baz
+
+import "math/rand"
+
+type fake struct{}
+
+func (fake) Intn(n int) int { return 0 }
+
+func local(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	var rand fake
+	_ = rng
+	return rand.Intn(3)
+}
+`,
+		"cmd/tool/main.go": `package main
+
+import "math/rand"
+
+func main() {
+	_ = rand.Intn(10)
+}
+`,
+	})
+	if !hasFinding(findings, "global-rand", "rand.Intn") {
+		t.Errorf("global rand.Intn in internal package not flagged; findings: %v", findings)
+	}
+	if !hasFinding(findings, "global-rand", "mrand.Shuffle") {
+		t.Errorf("aliased global rand call not flagged; findings: %v", findings)
+	}
+	for _, f := range findings {
+		if f.Check != "global-rand" {
+			continue
+		}
+		if strings.Contains(f.Pos.Filename, "main.go") {
+			t.Errorf("global-rand flagged outside internal/: %v", f)
+		}
+		if strings.Contains(f.Pos.Filename, "baz.go") {
+			t.Errorf("shadowing local misflagged as global rand: %v", f)
+		}
+	}
+	// Constructor calls (rand.New, rand.NewSource) and seeded-source draws
+	// must not fire: exactly the two genuine global draws above.
+	count := 0
+	for _, f := range findings {
+		if f.Check == "global-rand" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("want exactly 2 global-rand findings, got %d: %v", count, findings)
+	}
+}

@@ -1,5 +1,5 @@
 // Command repolint is this repository's own correctness linter. It runs
-// three purely syntactic go/ast checks that encode invariants the paper
+// four purely syntactic go/ast checks that encode invariants the paper
 // reproduction depends on:
 //
 //   - exhaustive-switch: a switch over one of the behaviour-steering enums
@@ -16,6 +16,13 @@
 //   - pathset-mutation: calling Add/Remove/Union on a bgp.PathSet
 //     received by value mutates the caller's bitset through the shared
 //     backing array. Take *PathSet, or Clone() first.
+//
+//   - global-rand: inside internal/..., calling a top-level math/rand
+//     function (rand.Intn, rand.Float64, rand.Shuffle, ...) is banned —
+//     those draw from the process-global source, so generated systems and
+//     census aggregates stop being pure functions of their seed. Build an
+//     explicit source with rand.New(rand.NewSource(seed)) instead (the
+//     constructors New, NewSource and NewZipf remain allowed).
 //
 // Usage:
 //

@@ -1,0 +1,210 @@
+package campaign
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// SeedResult is one seed's outcome: the unit that jobs produce, checkpoints
+// persist, and the aggregator folds. Every field is derived from the seed
+// alone (never from timing, worker identity, or shard layout), which is
+// what makes campaign aggregates byte-identical across shard counts and
+// across kill/resume boundaries.
+type SeedResult struct {
+	Seed int64 `json:"seed"`
+	// Err records a per-seed soft failure (the generator rejected the
+	// seed's draw); the seed still counts as processed.
+	Err string `json:"err,omitempty"`
+	// Nodes is the generated system's size.
+	Nodes int `json:"nodes,omitempty"`
+
+	// Census / counterexample-search fields.
+	ClassicOsc   bool `json:"classic_osc,omitempty"`
+	WaltonOsc    bool `json:"walton_osc,omitempty"`
+	ModifiedConv bool `json:"modified_conv,omitempty"`
+	MEDInduced   bool `json:"med_induced,omitempty"`
+	Fig13Like    bool `json:"fig13_like,omitempty"`
+	// Exhaustive marks oscillation verdicts proved by complete
+	// reachable-state search rather than schedule sampling.
+	Exhaustive bool `json:"exhaustive,omitempty"`
+	// States is the largest reachable state space explored across the
+	// policy variants; FixedPoints counts the reachable stable
+	// configurations under classic I-BGP.
+	States      int  `json:"states,omitempty"`
+	FixedPoints int  `json:"fixed_points,omitempty"`
+	Truncated   bool `json:"truncated,omitempty"`
+
+	// Message-level fuzz fields.
+	Schedules        int `json:"schedules,omitempty"`
+	Quiesced         int `json:"quiesced,omitempty"`
+	DistinctOutcomes int `json:"distinct_outcomes,omitempty"`
+	Messages         int `json:"messages,omitempty"`
+}
+
+// maxExamples bounds the counterexample seed lists carried in an
+// Aggregate; the companion count fields always hold the full totals, so
+// the cap truncates evidence, never statistics.
+const maxExamples = 32
+
+// HistBucket is one power-of-two bucket of the state-space size histogram.
+type HistBucket struct {
+	// Lo and Hi are the inclusive bucket bounds ([2^(k-1)+1 .. 2^k]).
+	Lo    int `json:"lo"`
+	Hi    int `json:"hi"`
+	Count int `json:"count"`
+}
+
+// Aggregate is the deterministic summary of a campaign. Results are folded
+// strictly in seed order, so the same seed range always produces the same
+// aggregate — and the same JSON bytes — no matter how many workers ran it
+// or how many times it was checkpointed and resumed.
+type Aggregate struct {
+	Job       string `json:"job"`
+	Params    string `json:"params"`
+	StartSeed int64  `json:"start_seed"`
+	Seeds     int    `json:"seeds"`
+
+	// Completed counts folded seeds; Errors the subset the generator
+	// rejected. Statistics below are over the Completed-Errors survivors.
+	Completed int `json:"completed"`
+	Errors    int `json:"errors,omitempty"`
+
+	ClassicOsc   int `json:"classic_osc"`
+	WaltonOsc    int `json:"walton_osc"`
+	ModifiedConv int `json:"modified_conv"`
+	MEDInduced   int `json:"med_induced"`
+	// Divergent counts seeds where the Walton fix changes the verdict
+	// (classic and Walton disagree); Fig13 the seeds with the full paper
+	// property (classic+Walton oscillate, modified converges, MED-induced).
+	Divergent int `json:"divergent"`
+	Fig13     int `json:"fig13"`
+	// Example seed lists, in seed order, capped at maxExamples entries.
+	DivergentExamples []int64 `json:"divergent_examples,omitempty"`
+	Fig13Examples     []int64 `json:"fig13_examples,omitempty"`
+
+	Exhaustive  int   `json:"exhaustive"`
+	Truncated   int   `json:"truncated"`
+	TotalStates int64 `json:"total_states"`
+	MaxStates   int   `json:"max_states"`
+	FixedPoints int64 `json:"fixed_points"`
+	// StateHist buckets the per-seed reachable state-space sizes by powers
+	// of two (only non-empty buckets appear).
+	StateHist []HistBucket `json:"state_hist,omitempty"`
+
+	// Fuzz statistics (msgsim jobs only).
+	Schedules       int `json:"schedules,omitempty"`
+	Quiesced        int `json:"quiesced,omitempty"`
+	TimingDependent int `json:"timing_dependent,omitempty"`
+	Messages        int `json:"messages,omitempty"`
+}
+
+// newAggregate seeds the header fields; fold fills the rest.
+func newAggregate(job Job, cfg Config) *Aggregate {
+	return &Aggregate{
+		Job:       job.Name(),
+		Params:    job.Describe(),
+		StartSeed: cfg.Start,
+		Seeds:     cfg.Seeds,
+	}
+}
+
+// fold merges one seed's result. Callers must fold in ascending seed
+// order; the reorder buffer in Run guarantees it.
+func (a *Aggregate) fold(r SeedResult, hist map[int]int) {
+	a.Completed++
+	if r.Err != "" {
+		a.Errors++
+		return
+	}
+	if r.ClassicOsc {
+		a.ClassicOsc++
+	}
+	if r.WaltonOsc {
+		a.WaltonOsc++
+	}
+	if r.ModifiedConv {
+		a.ModifiedConv++
+	}
+	if r.MEDInduced {
+		a.MEDInduced++
+	}
+	if r.ClassicOsc != r.WaltonOsc {
+		a.Divergent++
+		if len(a.DivergentExamples) < maxExamples {
+			a.DivergentExamples = append(a.DivergentExamples, r.Seed)
+		}
+	}
+	if r.Fig13Like {
+		a.Fig13++
+		if len(a.Fig13Examples) < maxExamples {
+			a.Fig13Examples = append(a.Fig13Examples, r.Seed)
+		}
+	}
+	if r.Exhaustive {
+		a.Exhaustive++
+	}
+	if r.Truncated {
+		a.Truncated++
+	}
+	a.TotalStates += int64(r.States)
+	if r.States > a.MaxStates {
+		a.MaxStates = r.States
+	}
+	a.FixedPoints += int64(r.FixedPoints)
+	if r.States > 0 {
+		hist[bits.Len(uint(r.States-1))]++
+	}
+	a.Schedules += r.Schedules
+	a.Quiesced += r.Quiesced
+	if r.DistinctOutcomes > 1 {
+		a.TimingDependent++
+	}
+	a.Messages += r.Messages
+}
+
+// finish materialises the histogram buckets in ascending size order.
+func (a *Aggregate) finish(hist map[int]int) {
+	for k := 0; k <= 64; k++ {
+		n, ok := hist[k]
+		if !ok {
+			continue
+		}
+		lo := 1
+		if k > 0 {
+			lo = 1<<(k-1) + 1
+		}
+		a.StateHist = append(a.StateHist, HistBucket{Lo: lo, Hi: 1 << k, Count: n})
+	}
+}
+
+// OscillationRate returns the classic-I-BGP oscillation fraction over the
+// successfully generated seeds (0 when none completed).
+func (a *Aggregate) OscillationRate() float64 {
+	n := a.Completed - a.Errors
+	if n == 0 {
+		return 0
+	}
+	return float64(a.ClassicOsc) / float64(n)
+}
+
+// String renders a one-paragraph human summary.
+func (a *Aggregate) String() string {
+	var b strings.Builder
+	n := a.Completed - a.Errors
+	fmt.Fprintf(&b, "%s over seeds [%d,%d): %d completed (%d generator rejects)\n",
+		a.Job, a.StartSeed, a.StartSeed+int64(a.Seeds), a.Completed, a.Errors)
+	if n > 0 {
+		fmt.Fprintf(&b, "  classic oscillates: %d/%d (%.1f%%)  walton: %d  modified converged: %d  MED-induced: %d\n",
+			a.ClassicOsc, n, 100*a.OscillationRate(), a.WaltonOsc, a.ModifiedConv, a.MEDInduced)
+		fmt.Fprintf(&b, "  walton-divergent: %d  fig13-like: %d  exhaustive verdicts: %d  truncated: %d\n",
+			a.Divergent, a.Fig13, a.Exhaustive, a.Truncated)
+		fmt.Fprintf(&b, "  states explored: %d (max %d per seed)  reachable fixed points: %d\n",
+			a.TotalStates, a.MaxStates, a.FixedPoints)
+		if a.Schedules > 0 {
+			fmt.Fprintf(&b, "  fuzz: %d/%d schedules quiesced, %d timing-dependent seeds, %d messages\n",
+				a.Quiesced, a.Schedules, a.TimingDependent, a.Messages)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,295 @@
+// Package campaign is the mass-survey engine: it shards a seed range
+// across a bounded worker pool, runs a pluggable per-seed job (an
+// exhaustive explore.Reachable census per protocol variant, the Figure 13
+// counterexample hunt, or an msgsim schedule fuzz), and streams the
+// results through a reorder buffer into a deterministic aggregator with
+// periodic JSONL checkpointing and resume.
+//
+// The determinism contract is the point of the design: a campaign's
+// aggregate — byte for byte, as JSON — depends only on the job and the
+// seed range. Worker count, OS scheduling, checkpoint timing, and
+// kill/resume boundaries never change it, because jobs are pure functions
+// of their seed and results are folded strictly in seed order regardless
+// of completion order.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Meter is one worker's counter block, updated with atomics so the
+// progress reporter can read it while the worker runs.
+type Meter struct {
+	// Seeds counts completed seeds; States reachable states explored;
+	// Steps activation/event steps in sampled runs; Truncations searches
+	// that hit their budget.
+	Seeds       atomic.Int64
+	States      atomic.Int64
+	Steps       atomic.Int64
+	Truncations atomic.Int64
+}
+
+// WorkerStat is a point-in-time snapshot of one worker's meter.
+type WorkerStat struct {
+	Seeds       int64
+	States      int64
+	Steps       int64
+	Truncations int64
+	// StatesPerSec is the worker's exploration rate since the campaign
+	// started.
+	StatesPerSec float64
+}
+
+// ProgressReport is handed to the progress callback.
+type ProgressReport struct {
+	// Done counts folded seeds (including checkpoint-restored ones);
+	// Total is the campaign size.
+	Done, Total int
+	// QueueDepth is the number of seeds waiting for a worker.
+	QueueDepth int
+	// Elapsed is wall-clock time since Run started.
+	Elapsed time.Duration
+	// Workers holds one entry per worker, in worker order.
+	Workers []WorkerStat
+}
+
+// String renders the report as a one-line status.
+func (p ProgressReport) String() string {
+	var states, trunc int64
+	for _, w := range p.Workers {
+		states += w.States
+		trunc += w.Truncations
+	}
+	rate := 0.0
+	if s := p.Elapsed.Seconds(); s > 0 {
+		rate = float64(states) / s
+	}
+	return fmt.Sprintf("seeds %d/%d | queue %d | %d workers | %.0f states/s | %d truncations | %s",
+		p.Done, p.Total, p.QueueDepth, len(p.Workers), rate, trunc, p.Elapsed.Round(time.Second))
+}
+
+// Config tunes a campaign run.
+type Config struct {
+	// Shards is the worker count (default GOMAXPROCS). Sharding never
+	// changes the aggregate, only the wall-clock.
+	Shards int
+	// Start is the first seed; Seeds the number of consecutive seeds.
+	Start int64
+	Seeds int
+	// Checkpoint is the JSONL checkpoint path ("" disables
+	// checkpointing). Completed seed records are appended as they finish.
+	Checkpoint string
+	// Resume loads previously checkpointed records for this seed range
+	// and runs only the missing seeds.
+	Resume bool
+	// FlushEvery flushes the checkpoint writer after this many records
+	// (default 16; 1 flushes after every seed).
+	FlushEvery int
+	// Progress, when set, is called every ProgressEvery (default 1s) from
+	// a dedicated goroutine, and once more at the end.
+	Progress      func(ProgressReport)
+	ProgressEvery time.Duration
+}
+
+func (cfg Config) validate() error {
+	if cfg.Seeds <= 0 {
+		return fmt.Errorf("campaign: Seeds = %d, need a positive seed count", cfg.Seeds)
+	}
+	if cfg.Resume && cfg.Checkpoint == "" {
+		return errors.New("campaign: Resume requires a Checkpoint path")
+	}
+	return nil
+}
+
+// Run executes the job over cfg's seed range and returns the aggregate.
+// On cancellation it returns the partial aggregate folded so far together
+// with ctx.Err(); combined with a checkpoint, a later Resume run completes
+// the campaign as if it had never been interrupted.
+func Run(ctx context.Context, job Job, cfg Config) (*Aggregate, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > cfg.Seeds {
+		shards = cfg.Seeds
+	}
+	flushEvery := cfg.FlushEvery
+	if flushEvery <= 0 {
+		flushEvery = 16
+	}
+
+	// Restore checkpointed records before spinning anything up, so the
+	// workers only see the missing seeds.
+	restored := map[int64]SeedResult{}
+	if cfg.Resume {
+		var err error
+		restored, err = loadCheckpoint(cfg.Checkpoint, cfg.Start, cfg.Seeds)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var ckpt *checkpointWriter
+	if cfg.Checkpoint != "" {
+		var err error
+		ckpt, err = openCheckpoint(cfg.Checkpoint, cfg.Resume, flushEvery)
+		if err != nil {
+			return nil, err
+		}
+		defer ckpt.Close()
+	}
+
+	seedCh := make(chan int64, cfg.Seeds)
+	for i := 0; i < cfg.Seeds; i++ {
+		seed := cfg.Start + int64(i)
+		if _, ok := restored[seed]; !ok {
+			seedCh <- seed
+		}
+	}
+	close(seedCh)
+
+	resCh := make(chan SeedResult, shards)
+	meters := make([]*Meter, shards)
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		m := &Meter{}
+		meters[w] = m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range seedCh {
+				if ctx.Err() != nil {
+					return
+				}
+				res := job.Run(ctx, seed, m)
+				if ctx.Err() != nil {
+					return // cancelled mid-seed: the result is untrustworthy
+				}
+				m.Seeds.Add(1)
+				select {
+				case resCh <- res:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+
+	// Progress reporter.
+	start := time.Now()
+	var done atomic.Int64
+	stopProgress := make(chan struct{})
+	var progressWG sync.WaitGroup
+	report := func() ProgressReport {
+		elapsed := time.Since(start)
+		p := ProgressReport{
+			Done:       int(done.Load()),
+			Total:      cfg.Seeds,
+			QueueDepth: len(seedCh),
+			Elapsed:    elapsed,
+			Workers:    make([]WorkerStat, len(meters)),
+		}
+		for i, m := range meters {
+			s := WorkerStat{
+				Seeds:       m.Seeds.Load(),
+				States:      m.States.Load(),
+				Steps:       m.Steps.Load(),
+				Truncations: m.Truncations.Load(),
+			}
+			if sec := elapsed.Seconds(); sec > 0 {
+				s.StatesPerSec = float64(s.States) / sec
+			}
+			p.Workers[i] = s
+		}
+		return p
+	}
+	if cfg.Progress != nil {
+		every := cfg.ProgressEvery
+		if every <= 0 {
+			every = time.Second
+		}
+		progressWG.Add(1)
+		go func() {
+			defer progressWG.Done()
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					cfg.Progress(report())
+				case <-stopProgress:
+					cfg.Progress(report())
+					return
+				}
+			}
+		}()
+	}
+
+	// Fold results strictly in seed order: completed records park in the
+	// pending buffer until every earlier seed has been folded. Restored
+	// records are pre-parked, so resumed and uninterrupted campaigns fold
+	// the identical sequence.
+	agg := newAggregate(job, cfg)
+	hist := map[int]int{}
+	pending := make(map[int64]SeedResult, len(restored))
+	for seed, r := range restored {
+		pending[seed] = r
+		done.Add(1)
+	}
+	next := cfg.Start
+	end := cfg.Start + int64(cfg.Seeds)
+	drain := func() {
+		for next < end {
+			r, ok := pending[next]
+			if !ok {
+				return
+			}
+			delete(pending, next)
+			agg.fold(r, hist)
+			next++
+		}
+	}
+	drain()
+	for res := range resCh {
+		if ckpt != nil {
+			if err := ckpt.Write(res); err != nil {
+				close(stopProgress)
+				progressWG.Wait()
+				return nil, err
+			}
+		}
+		done.Add(1)
+		pending[res.Seed] = res
+		drain()
+	}
+	close(stopProgress)
+	progressWG.Wait()
+
+	if ckpt != nil {
+		if err := ckpt.Close(); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return agg, err
+	}
+	if next != end {
+		// All workers exited without cancellation yet seeds are missing:
+		// a checkpoint from a different campaign shape.
+		return agg, fmt.Errorf("campaign: %d seeds unaccounted for (stale checkpoint?)", end-next)
+	}
+	agg.finish(hist)
+	return agg, nil
+}

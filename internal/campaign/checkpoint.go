@@ -1,0 +1,110 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Checkpoint format: one SeedResult per line (JSONL), appended in
+// completion order. The order does not matter — the engine reorders while
+// folding — so a checkpoint survives any interleaving of workers. A kill
+// can truncate the final line; loadCheckpoint tolerates exactly that.
+
+// checkpointWriter appends records to a JSONL checkpoint, flushing every
+// flushEvery records so a killed campaign loses at most that many seeds.
+type checkpointWriter struct {
+	f          *os.File
+	w          *bufio.Writer
+	enc        *json.Encoder
+	unflushed  int
+	flushEvery int
+	closed     bool
+}
+
+// openCheckpoint opens the checkpoint for appending. Without resume an
+// existing file is truncated: its records would otherwise be mistaken for
+// this campaign's on a later -resume.
+func openCheckpoint(path string, resume bool, flushEvery int) (*checkpointWriter, error) {
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags = os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open checkpoint: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	return &checkpointWriter{f: f, w: w, enc: json.NewEncoder(w), flushEvery: flushEvery}, nil
+}
+
+func (c *checkpointWriter) Write(r SeedResult) error {
+	if err := c.enc.Encode(r); err != nil {
+		return fmt.Errorf("campaign: write checkpoint: %w", err)
+	}
+	c.unflushed++
+	if c.unflushed >= c.flushEvery {
+		c.unflushed = 0
+		if err := c.w.Flush(); err != nil {
+			return fmt.Errorf("campaign: flush checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the file; it is idempotent.
+func (c *checkpointWriter) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if err := c.w.Flush(); err != nil {
+		c.f.Close()
+		return fmt.Errorf("campaign: flush checkpoint: %w", err)
+	}
+	if err := c.f.Close(); err != nil {
+		return fmt.Errorf("campaign: close checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint reads the records whose seeds fall inside [start,
+// start+count). A missing file is an empty checkpoint (resuming a
+// never-started campaign is legal). A torn final line — the signature of
+// a kill mid-write — is skipped; any other malformed line is an error.
+func loadCheckpoint(path string, start int64, count int) (map[int64]SeedResult, error) {
+	out := map[int64]SeedResult{}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return out, nil
+		}
+		return nil, fmt.Errorf("campaign: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	var torn error
+	for sc.Scan() {
+		if torn != nil {
+			return nil, torn // a malformed line followed by more lines
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r SeedResult
+		if err := json.Unmarshal(line, &r); err != nil {
+			torn = fmt.Errorf("campaign: corrupt checkpoint line: %w", err)
+			continue
+		}
+		if r.Seed >= start && r.Seed < start+int64(count) {
+			out[r.Seed] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: read checkpoint: %w", err)
+	}
+	return out, nil
+}

@@ -6,11 +6,15 @@ package cli
 import (
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/figures"
 	"repro/internal/protocol"
 	"repro/internal/selection"
 	"repro/internal/topology"
+	"repro/internal/workload"
 )
 
 // Figures maps the figure names accepted by -figure flags. It is derived
@@ -91,6 +95,93 @@ func ParseOptions(order, med string) (selection.Options, error) {
 		return opts, fmt.Errorf("unknown MED mode %q (want standard or always)", med)
 	}
 	return opts, nil
+}
+
+// ParseWorkloadParams maps a -params flag value — a comma-separated
+// key=value list like "clusters=4,maxmed=2" — onto base, overriding only
+// the named fields. The result is validated.
+func ParseWorkloadParams(s string, base workload.Params) (workload.Params, error) {
+	p := base
+	err := parseKVList(s, map[string]func(string) error{
+		"clusters":   intField(&p.Clusters),
+		"minclients": intField(&p.MinClients),
+		"maxclients": intField(&p.MaxClients),
+		"ases":       intField(&p.ASes),
+		"exits":      intField(&p.Exits),
+		"maxmed":     intField(&p.MaxMED),
+		"maxcost":    int64Field(&p.MaxCost),
+		"extralinks": intField(&p.ExtraLinks),
+	})
+	if err != nil {
+		return p, err
+	}
+	return p, p.Validate()
+}
+
+// ParseCrossedSpec maps a -params value onto the crossed (Figure 13)
+// family: keys clusters, twoclienton, ases, maxmed, dotted.
+func ParseCrossedSpec(s string, base workload.CrossedSpec) (workload.CrossedSpec, error) {
+	spec := base
+	err := parseKVList(s, map[string]func(string) error{
+		"clusters":    intField(&spec.Clusters),
+		"twoclienton": intField(&spec.TwoClientOn),
+		"ases":        intField(&spec.ASes),
+		"maxmed":      intField(&spec.MaxMED),
+		"dotted":      floatField(&spec.DottedProb),
+	})
+	if err != nil {
+		return spec, err
+	}
+	return spec, spec.Validate()
+}
+
+// parseKVList applies a comma-separated key=value list via per-key
+// setters; the empty string sets nothing.
+func parseKVList(s string, fields map[string]func(string) error) error {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		key = strings.ToLower(strings.TrimSpace(key))
+		set := fields[key]
+		if !ok || set == nil {
+			keys := make([]string, 0, len(fields))
+			for k := range fields {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			return fmt.Errorf("bad -params entry %q (want key=value with keys %s)", kv, strings.Join(keys, ", "))
+		}
+		if err := set(strings.TrimSpace(val)); err != nil {
+			return fmt.Errorf("bad -params value %q: %v", kv, err)
+		}
+	}
+	return nil
+}
+
+func intField(dst *int) func(string) error {
+	return func(v string) error {
+		n, err := strconv.Atoi(v)
+		*dst = n
+		return err
+	}
+}
+
+func int64Field(dst *int64) func(string) error {
+	return func(v string) error {
+		n, err := strconv.ParseInt(v, 10, 64)
+		*dst = n
+		return err
+	}
+}
+
+func floatField(dst *float64) func(string) error {
+	return func(v string) error {
+		f, err := strconv.ParseFloat(v, 64)
+		*dst = f
+		return err
+	}
 }
 
 // ParseSchedule maps a -schedule flag value to a schedule over n nodes.

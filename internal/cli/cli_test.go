@@ -11,6 +11,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/selection"
 	"repro/internal/topology"
+	"repro/internal/workload"
 )
 
 func TestLoadSystemFigure(t *testing.T) {
@@ -161,5 +162,55 @@ func TestShippedTopologies(t *testing.T) {
 	ref := figures.Fig13().Sys
 	if sys.N() != ref.N() || sys.NumExits() != ref.NumExits() {
 		t.Fatal("fig13.json diverged from the in-code figure")
+	}
+}
+
+func TestParseWorkloadParams(t *testing.T) {
+	base := workload.Default(3)
+	p, err := ParseWorkloadParams("", base)
+	if err != nil || p != base {
+		t.Fatalf("empty override changed the family: %+v, %v", p, err)
+	}
+	p, err = ParseWorkloadParams(" clusters=4 , MaxMED=2,exits=8", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Clusters != 4 || p.MaxMED != 2 || p.Exits != 8 {
+		t.Fatalf("overrides not applied: %+v", p)
+	}
+	if p.ASes != base.ASes || p.MaxCost != base.MaxCost {
+		t.Fatalf("untouched fields changed: %+v", p)
+	}
+	for _, bad := range []string{
+		"widgets=3",      // unknown key
+		"clusters",       // no value
+		"clusters=three", // not an int
+		"clusters=0",     // fails Validate
+		"minclients=5,maxclients=2",
+	} {
+		if _, err := ParseWorkloadParams(bad, base); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+	// Unknown-key errors must list the valid keys.
+	_, err = ParseWorkloadParams("widgets=3", base)
+	if err == nil || !strings.Contains(err.Error(), "clusters") {
+		t.Errorf("unknown-key error does not list valid keys: %v", err)
+	}
+}
+
+func TestParseCrossedSpec(t *testing.T) {
+	base := workload.CrossedSpec{Clusters: 4, TwoClientOn: 0, ASes: 2, MaxMED: 2, DottedProb: 0.5}
+	spec, err := ParseCrossedSpec("dotted=0.25,twoclienton=1", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.DottedProb != 0.25 || spec.TwoClientOn != 1 || spec.Clusters != 4 {
+		t.Fatalf("overrides not applied: %+v", spec)
+	}
+	for _, bad := range []string{"exits=3", "dotted=x", "dotted=1.5", "clusters=0"} {
+		if _, err := ParseCrossedSpec(bad, base); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
 	}
 }

@@ -10,8 +10,8 @@ func TestAllExperimentsPass(t *testing.T) {
 		t.Skip("full battery is slow")
 	}
 	reports := All(Options{Seeds: 4, SweepSizes: []int{2, 4}})
-	if len(reports) != 22 {
-		t.Fatalf("got %d reports, want 22", len(reports))
+	if len(reports) != 23 {
+		t.Fatalf("got %d reports, want 23", len(reports))
 	}
 	for _, r := range reports {
 		if !r.Pass {
@@ -36,7 +36,7 @@ func TestIndividualExperiments(t *testing.T) {
 		{"E15", E15Adaptive}, {"E16", E16Confederation},
 		{"E17", E17DeepHierarchy}, {"E18", E18SyncConvergence},
 		{"E20", E20MetricAdjustment}, {"E21", E21EBGPChurn},
-		{"E22", E22MEDPrevalence},
+		{"E22", E22MEDPrevalence}, {"E23", E23Census},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -9,6 +9,8 @@
 package explore
 
 import (
+	"context"
+
 	"repro/internal/bgp"
 	"repro/internal/protocol"
 )
@@ -53,6 +55,10 @@ type Options struct {
 	Mode SuccessorMode
 	// MaxStates bounds the search (default 200000).
 	MaxStates int
+	// Ctx, when non-nil, is polled during the search; once it is cancelled
+	// the search stops early with Truncated set, so long-running censuses
+	// can be interrupted between states rather than between seeds.
+	Ctx context.Context
 }
 
 // Reachable explores every configuration reachable from the engine's
@@ -105,6 +111,10 @@ func Reachable(e *protocol.Engine, opts Options) Analysis {
 	seen[startKey] = true
 
 	for len(queue) > 0 {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			a.Truncated = true
+			break
+		}
 		cur := queue[0]
 		queue = queue[1:]
 		a.States++
@@ -155,6 +165,12 @@ type StableEnumeration struct {
 // 4,000,000. The engine must use the Classic policy; it is restored before
 // returning.
 func EnumerateStableClassic(e *protocol.Engine, budget int) StableEnumeration {
+	return EnumerateStableClassicCtx(context.Background(), e, budget)
+}
+
+// EnumerateStableClassicCtx is EnumerateStableClassic with cancellation:
+// when ctx is cancelled the enumeration stops early with Truncated set.
+func EnumerateStableClassicCtx(ctx context.Context, e *protocol.Engine, budget int) StableEnumeration {
 	if budget <= 0 {
 		budget = 4_000_000
 	}
@@ -176,6 +192,11 @@ func EnumerateStableClassic(e *protocol.Engine, budget int) StableEnumeration {
 	for {
 		res.Candidates++
 		if res.Candidates > budget {
+			res.Truncated = true
+			return res
+		}
+		// The per-candidate work is tiny; poll the context sparsely.
+		if res.Candidates%4096 == 0 && ctx.Err() != nil {
 			res.Truncated = true
 			return res
 		}

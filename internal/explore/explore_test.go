@@ -1,6 +1,8 @@
 package explore
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/bgp"
@@ -164,5 +166,40 @@ func TestReachableFixedPointsAreStable(t *testing.T) {
 				t.Fatalf("node %d would change in fixed point", u)
 			}
 		}
+	}
+}
+
+func TestReachableCancellation(t *testing.T) {
+	f := figures.Fig1a()
+	e := protocol.New(f.Sys, protocol.Classic, selection.Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a := Reachable(e, Options{Mode: AllSubsets, Ctx: ctx})
+	if !a.Truncated {
+		t.Fatal("cancelled search not marked truncated")
+	}
+	if a.States != 0 {
+		t.Fatalf("cancelled-before-start search visited %d states", a.States)
+	}
+	// The engine must still be restored after an interrupted search.
+	if !e.Snapshot().Equal(protocol.New(f.Sys, protocol.Classic, selection.Options{}).Snapshot()) {
+		t.Fatal("cancelled Reachable left the engine dirty")
+	}
+}
+
+func TestEnumerateStableClassicCancellation(t *testing.T) {
+	// Fig13's assignment space exceeds 100k candidates, far past the
+	// enumeration's context-poll stride.
+	f := figures.Fig13()
+	e := protocol.New(f.Sys, protocol.Classic, selection.Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	const budget = 100000
+	enum := EnumerateStableClassicCtx(ctx, e, budget)
+	if !enum.Truncated {
+		t.Fatal("cancelled enumeration not marked truncated")
+	}
+	if enum.Candidates >= budget {
+		t.Fatalf("cancelled enumeration exhausted its budget (%d candidates)", enum.Candidates)
 	}
 }

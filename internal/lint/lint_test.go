@@ -249,3 +249,58 @@ func findingDump(r *Report) string {
 	}
 	return b.String()
 }
+
+// TestBundledTopologyVerdicts pins the exact lint verdict of every bundled
+// topology. The fixture list comes from a directory glob, so a newly added
+// fixture fails the test until its expected verdict is recorded here —
+// verdict coverage can't silently lag the example set.
+func TestBundledTopologyVerdicts(t *testing.T) {
+	want := map[string]Verdict{
+		"broken-cluster.json": VerdictFail, // client in two clusters
+		"fig13.json":          VerdictRisk, // MED oscillation survives Walton
+		"fig14.json":          VerdictPass, // fully meshed RRs, no MED split
+		"fig1a.json":          VerdictRisk, // paper's basic 3-cluster cycle
+		"fig2.json":           VerdictRisk,
+		"hierarchy.json":      VerdictPass,
+	}
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "topologies", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no bundled topologies")
+	}
+	covered := map[string]bool{}
+	for _, path := range paths {
+		name := filepath.Base(path)
+		if strings.HasPrefix(name, "confed-") {
+			// Confederation specs use their own loader and linter entry
+			// point; they are out of scope for LintSpec.
+			continue
+		}
+		expect, ok := want[name]
+		if !ok {
+			t.Errorf("%s: new fixture without an expected verdict — add it to the table", name)
+			continue
+		}
+		covered[name] = true
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := topology.ParseSpec(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rep := LintSpec(name, spec)
+		if rep.Verdict != expect {
+			t.Errorf("%s: verdict = %v, want %v; findings:\n%s", name, rep.Verdict, expect, findingDump(rep))
+		}
+	}
+	for name := range want {
+		if !covered[name] {
+			t.Errorf("%s: listed in the verdict table but not shipped", name)
+		}
+	}
+}

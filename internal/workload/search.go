@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"context"
+
 	"repro/internal/explore"
 	"repro/internal/protocol"
 	"repro/internal/selection"
@@ -56,9 +58,9 @@ func oscillatesBySampling(sys *topology.System, policy protocol.Policy, seeds in
 
 // oscillatesExhaustively proves non-stabilizability by exhausting the
 // reachable state space. ok is false when the search truncated.
-func oscillatesExhaustively(sys *topology.System, policy protocol.Policy, maxStates int) (oscillates, ok bool) {
+func oscillatesExhaustively(ctx context.Context, sys *topology.System, policy protocol.Policy, maxStates int) (oscillates, ok bool) {
 	e := protocol.New(sys, policy, selection.Options{})
-	a := explore.Reachable(e, explore.Options{Mode: explore.SingletonsPlusAll, MaxStates: maxStates})
+	a := explore.Reachable(e, explore.Options{Mode: explore.SingletonsPlusAll, MaxStates: maxStates, Ctx: ctx})
 	if a.Truncated {
 		return false, false
 	}
@@ -68,6 +70,13 @@ func oscillatesExhaustively(sys *topology.System, policy protocol.Policy, maxSta
 // Classify runs the full battery on one configuration. exhaustiveBudget
 // bounds the per-policy reachable-state search; 0 skips it.
 func Classify(sys *topology.System, exhaustiveBudget int) Verdict {
+	return ClassifyCtx(context.Background(), sys, exhaustiveBudget)
+}
+
+// ClassifyCtx is Classify with cancellation plumbed into the exhaustive
+// searches; a cancelled classification reports the sampling verdicts with
+// Exhaustive false.
+func ClassifyCtx(ctx context.Context, sys *topology.System, exhaustiveBudget int) Verdict {
 	v := Verdict{}
 	v.ClassicOscillates = oscillatesBySampling(sys, protocol.Classic, 4)
 	v.WaltonOscillates = oscillatesBySampling(sys, protocol.Walton, 4)
@@ -83,8 +92,8 @@ func Classify(sys *topology.System, exhaustiveBudget int) Verdict {
 	}
 
 	if exhaustiveBudget > 0 && v.ClassicOscillates && v.WaltonOscillates {
-		co, ok1 := oscillatesExhaustively(sys, protocol.Classic, exhaustiveBudget)
-		wo, ok2 := oscillatesExhaustively(sys, protocol.Walton, exhaustiveBudget)
+		co, ok1 := oscillatesExhaustively(ctx, sys, protocol.Classic, exhaustiveBudget)
+		wo, ok2 := oscillatesExhaustively(ctx, sys, protocol.Walton, exhaustiveBudget)
 		if ok1 && ok2 {
 			v.ClassicOscillates = co
 			v.WaltonOscillates = wo

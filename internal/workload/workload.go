@@ -31,6 +31,29 @@ type Params struct {
 	ExtraLinks int
 }
 
+// Validate rejects parameter sets that would generate degenerate systems
+// (or panic the generator's RNG draws). All generators call it, so a bad
+// family fails fast instead of producing misleading census samples.
+func (p Params) Validate() error {
+	switch {
+	case p.Clusters < 1:
+		return fmt.Errorf("workload: Clusters = %d, need at least one cluster", p.Clusters)
+	case p.MinClients < 0 || p.MaxClients < p.MinClients:
+		return fmt.Errorf("workload: bad client bounds [%d,%d]", p.MinClients, p.MaxClients)
+	case p.ASes < 1:
+		return fmt.Errorf("workload: ASes = %d, need at least one neighbouring AS", p.ASes)
+	case p.Exits < 1:
+		return fmt.Errorf("workload: Exits = %d, need at least one exit path", p.Exits)
+	case p.MaxMED < 0:
+		return fmt.Errorf("workload: MaxMED = %d, must be non-negative", p.MaxMED)
+	case p.MaxCost < 1:
+		return fmt.Errorf("workload: MaxCost = %d, must be positive", p.MaxCost)
+	case p.ExtraLinks < 0:
+		return fmt.Errorf("workload: ExtraLinks = %d, must be non-negative", p.ExtraLinks)
+	}
+	return nil
+}
+
 // Default returns a medium-sized family: c clusters with up to 3 clients,
 // 3 neighbouring ASes and 2 exit paths per cluster on average.
 func Default(c int) Params {
@@ -49,14 +72,8 @@ func Default(c int) Params {
 // Generate builds a random system from the family. The same seed always
 // produces the same system.
 func Generate(p Params, seed int64) (*topology.System, error) {
-	if p.Clusters < 1 {
-		return nil, fmt.Errorf("workload: need at least one cluster")
-	}
-	if p.MinClients < 0 || p.MaxClients < p.MinClients {
-		return nil, fmt.Errorf("workload: bad client bounds [%d,%d]", p.MinClients, p.MaxClients)
-	}
-	if p.ASes < 1 || p.Exits < 0 || p.MaxMED < 0 || p.MaxCost < 1 {
-		return nil, fmt.Errorf("workload: bad parameters %+v", p)
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(seed))
 	b := topology.NewBuilder()
@@ -141,8 +158,28 @@ type CrossedSpec struct {
 	DottedProb  float64 // probability of a client-to-foreign-reflector link
 }
 
+// Validate rejects crossed-family shapes the sampler cannot realise.
+func (spec CrossedSpec) Validate() error {
+	switch {
+	case spec.Clusters < 1:
+		return fmt.Errorf("workload: CrossedSpec.Clusters = %d, need at least one cluster", spec.Clusters)
+	case spec.TwoClientOn >= spec.Clusters:
+		return fmt.Errorf("workload: CrossedSpec.TwoClientOn = %d out of range (have %d clusters)", spec.TwoClientOn, spec.Clusters)
+	case spec.ASes < 1:
+		return fmt.Errorf("workload: CrossedSpec.ASes = %d, need at least one neighbouring AS", spec.ASes)
+	case spec.MaxMED < 0:
+		return fmt.Errorf("workload: CrossedSpec.MaxMED = %d, must be non-negative", spec.MaxMED)
+	case spec.DottedProb < 0 || spec.DottedProb > 1:
+		return fmt.Errorf("workload: CrossedSpec.DottedProb = %g, must be a probability", spec.DottedProb)
+	}
+	return nil
+}
+
 // SampleCrossed draws one configuration from the crossed family.
 func SampleCrossed(spec CrossedSpec, seed int64) (*topology.System, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(seed))
 	b := topology.NewBuilder()
 	var rrs []bgp.NodeID
@@ -192,8 +229,28 @@ func Fig13Spec() SearchSpec {
 	return SearchSpec{Clusters: 4, ClientsPerRR: 1, ASes: 2, ExitsPerClient: 1, MaxCost: 10}
 }
 
+// Validate rejects search-family shapes the sampler cannot realise.
+func (spec SearchSpec) Validate() error {
+	switch {
+	case spec.Clusters < 1:
+		return fmt.Errorf("workload: SearchSpec.Clusters = %d, need at least one cluster", spec.Clusters)
+	case spec.ClientsPerRR < 1:
+		return fmt.Errorf("workload: SearchSpec.ClientsPerRR = %d, need at least one client per reflector", spec.ClientsPerRR)
+	case spec.ASes < 1:
+		return fmt.Errorf("workload: SearchSpec.ASes = %d, need at least one neighbouring AS", spec.ASes)
+	case spec.ExitsPerClient < 1:
+		return fmt.Errorf("workload: SearchSpec.ExitsPerClient = %d, need at least one exit per client", spec.ExitsPerClient)
+	case spec.MaxCost < 1:
+		return fmt.Errorf("workload: SearchSpec.MaxCost = %d, must be positive", spec.MaxCost)
+	}
+	return nil
+}
+
 // Sample draws one configuration from the family.
 func Sample(spec SearchSpec, seed int64) (*topology.System, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(seed))
 	b := topology.NewBuilder()
 	var rrs []bgp.NodeID

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/bgp"
@@ -210,6 +211,96 @@ func TestReachableSubsetOfEnumeration(t *testing.T) {
 		res := protocol.Run(e, protocol.RoundRobin(sys.N()), protocol.RunOptions{MaxSteps: 4000})
 		if res.Outcome == protocol.Converged && !inEnum(res.Final) {
 			t.Fatalf("seed %d: converged outcome not among enumerated solutions", seed)
+		}
+	}
+}
+
+// TestParamsValidateErrorPaths: every degenerate family must be rejected
+// by Validate (and therefore by Generate) instead of silently producing a
+// misleading census sample.
+func TestParamsValidateErrorPaths(t *testing.T) {
+	good := Default(2)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default family rejected: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(*Params)
+		want string
+	}{
+		{"no clusters", func(p *Params) { p.Clusters = 0 }, "Clusters"},
+		{"negative min clients", func(p *Params) { p.MinClients = -1 }, "client bounds"},
+		{"crossed client bounds", func(p *Params) { p.MinClients = 3; p.MaxClients = 1 }, "client bounds"},
+		{"no ASes", func(p *Params) { p.ASes = 0 }, "ASes"},
+		{"no exits", func(p *Params) { p.Exits = 0 }, "Exits"},
+		{"negative MED", func(p *Params) { p.MaxMED = -1 }, "MaxMED"},
+		{"zero cost", func(p *Params) { p.MaxCost = 0 }, "MaxCost"},
+		{"negative extra links", func(p *Params) { p.ExtraLinks = -1 }, "ExtraLinks"},
+	}
+	for _, tc := range mutations {
+		t.Run(tc.name, func(t *testing.T) {
+			p := good
+			tc.mut(&p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatalf("%+v validated", p)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name the bad field (%q)", err, tc.want)
+			}
+			if _, gerr := Generate(p, 1); gerr == nil {
+				t.Error("Generate accepted what Validate rejected")
+			}
+		})
+	}
+}
+
+// TestSearchSpecValidateErrorPaths covers the Sample generator's guard.
+func TestSearchSpecValidateErrorPaths(t *testing.T) {
+	good := Fig13Spec()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Fig13 family rejected: %v", err)
+	}
+	bads := []SearchSpec{
+		{Clusters: 0, ClientsPerRR: 1, ASes: 2, ExitsPerClient: 1, MaxCost: 10},
+		{Clusters: 4, ClientsPerRR: 0, ASes: 2, ExitsPerClient: 1, MaxCost: 10},
+		{Clusters: 4, ClientsPerRR: 1, ASes: 0, ExitsPerClient: 1, MaxCost: 10},
+		{Clusters: 4, ClientsPerRR: 1, ASes: 2, ExitsPerClient: 0, MaxCost: 10},
+		{Clusters: 4, ClientsPerRR: 1, ASes: 2, ExitsPerClient: 1, MaxCost: 0},
+	}
+	for _, spec := range bads {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%+v validated", spec)
+		}
+		if _, err := Sample(spec, 1); err == nil {
+			t.Errorf("Sample accepted %+v", spec)
+		}
+	}
+}
+
+// TestCrossedSpecValidateErrorPaths covers the SampleCrossed guard.
+func TestCrossedSpecValidateErrorPaths(t *testing.T) {
+	good := CrossedSpec{Clusters: 4, TwoClientOn: 0, ASes: 2, MaxMED: 2, DottedProb: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("crossed family rejected: %v", err)
+	}
+	if (CrossedSpec{Clusters: 2, TwoClientOn: -1, ASes: 1, MaxMED: 0, DottedProb: 0}).Validate() != nil {
+		t.Error("TwoClientOn=-1 (no second client) must be legal")
+	}
+	bads := []CrossedSpec{
+		{Clusters: 0, ASes: 2, MaxMED: 2, DottedProb: 0.5},
+		{Clusters: 4, TwoClientOn: 4, ASes: 2, MaxMED: 2, DottedProb: 0.5},
+		{Clusters: 4, ASes: 0, MaxMED: 2, DottedProb: 0.5},
+		{Clusters: 4, ASes: 2, MaxMED: -1, DottedProb: 0.5},
+		{Clusters: 4, ASes: 2, MaxMED: 2, DottedProb: 1.5},
+		{Clusters: 4, ASes: 2, MaxMED: 2, DottedProb: -0.1},
+	}
+	for _, spec := range bads {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%+v validated", spec)
+		}
+		if _, err := SampleCrossed(spec, 1); err == nil {
+			t.Errorf("SampleCrossed accepted %+v", spec)
 		}
 	}
 }
