@@ -9,10 +9,14 @@
 //
 // Usage:
 //
-//	ibgpcensus [-job census|fig13|fuzz] [-shards N] [-seeds N] [-start S]
-//	           [-params k=v,...] [-max-states N] [-schedules N]
+//	ibgpcensus [-job census|fig13|fuzz] [-shards N] [-workers N] [-seeds N]
+//	           [-start S] [-params k=v,...] [-max-states N] [-schedules N]
 //	           [-checkpoint FILE] [-resume] [-json] [-progress DUR]
 //	           [-timeout DUR]
+//
+// -shards parallelises across seeds; -workers parallelises the
+// reachable-state search within each seed. Both are deterministic: the
+// aggregate is a pure function of the job and the seed range.
 //
 // Examples:
 //
@@ -33,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"repro/internal/campaign"
@@ -49,6 +54,7 @@ func main() {
 		start      = flag.Int64("start", 1, "first seed")
 		params     = flag.String("params", "", "family overrides, comma-separated key=value")
 		maxStates  = flag.Int("max-states", 4000, "per-variant reachable-state budget for the census job (0: sampling only)")
+		workers    = flag.Int("workers", 1, "goroutines per reachable-state search (0: GOMAXPROCS); deterministic — never changes the aggregate")
 		schedules  = flag.Int("schedules", 4, "delay seeds per topology seed (fuzz job)")
 		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint path")
 		resume     = flag.Bool("resume", false, "resume from -checkpoint, running only missing seeds")
@@ -65,7 +71,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		job = campaign.CensusJob{Params: p, MaxStates: *maxStates}
+		job = campaign.CensusJob{Params: p, MaxStates: *maxStates, Workers: exploreWorkers(*workers)}
 	case "fig13":
 		spec, err := cli.ParseCrossedSpec(*params, workload.CrossedSpec{
 			Clusters: 4, TwoClientOn: 0, ASes: 2, MaxMED: 2, DottedProb: 0.5,
@@ -73,7 +79,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		job = campaign.Fig13Job{Spec: spec}
+		job = campaign.Fig13Job{Spec: spec, Workers: exploreWorkers(*workers)}
 	case "fuzz":
 		p, err := cli.ParseWorkloadParams(*params, workload.Default(3))
 		if err != nil {
@@ -123,6 +129,15 @@ func main() {
 		return
 	}
 	fmt.Print(agg)
+}
+
+// exploreWorkers resolves the -workers flag: 0 means one goroutine per
+// available CPU.
+func exploreWorkers(n int) int {
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
 }
 
 func fatal(err error) {

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	ibgplint [-json] [-v] [-fail-on none|risk|fail] [-figure NAME|all] [topology.json ...]
+//	ibgplint [-json] [-v] [-fail-on none|risk|fail] [-figure NAME|all]
+//	         [-confirm N] [-workers N] [topology.json ...]
 //
 // Each input gets a PASS/RISK/FAIL verdict: FAIL for violations of the
 // paper's structural model (Section 4), RISK when a sufficient
@@ -18,6 +19,11 @@
 // directory of example topologies (including deliberately broken
 // fixtures) succeeds in CI.
 //
+// With -confirm N, each RISK verdict is additionally checked dynamically:
+// the exhaustive reachable-state search (budget N states, parallelised
+// across -workers goroutines) either proves the oscillation persistent or
+// demotes it to "transient from cold start" in an extra finding.
+//
 // Confederation specs (package confed) are skipped with a note: they
 // describe a different session model.
 package main
@@ -28,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/cli"
 	"repro/internal/figures"
@@ -41,8 +48,13 @@ func main() {
 		verbose = flag.Bool("v", false, "also print info-level findings (safety certificates)")
 		failOn  = flag.String("fail-on", "none", "exit nonzero at this verdict or worse: none, risk or fail")
 		figure  = flag.String("figure", "", "lint a paper figure ("+fmt.Sprint(cli.FigureNames())+") or \"all\"")
+		confirm = flag.Int("confirm", 0, "state budget for dynamically confirming RISK verdicts (0: static only)")
+		workers = flag.Int("workers", 1, "goroutines per confirming search (0: GOMAXPROCS); deterministic")
 	)
 	flag.Parse()
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 
 	var threshold lint.Verdict
 	switch *failOn {
@@ -62,20 +74,36 @@ func main() {
 		os.Exit(2)
 	}
 
-	var reports []*lint.Report
+	type linted struct {
+		report *lint.Report
+		sys    *topology.System // nil when the input did not build
+	}
+	var inputs []linted
 	if *figure != "" {
 		for _, e := range figures.All() {
 			if *figure == "all" || *figure == e.Name {
-				reports = append(reports, lint.LintSystem("fig"+e.Name, e.Build().Sys))
+				sys := e.Build().Sys
+				inputs = append(inputs, linted{lint.LintSystem("fig"+e.Name, sys), sys})
 			}
 		}
-		if len(reports) == 0 {
+		if len(inputs) == 0 {
 			fmt.Fprintf(os.Stderr, "ibgplint: unknown figure %q (want one of %v or all)\n", *figure, cli.FigureNames())
 			os.Exit(2)
 		}
 	}
 	for _, path := range flag.Args() {
-		reports = append(reports, lintFile(path))
+		r, sys := lintFile(path)
+		inputs = append(inputs, linted{r, sys})
+	}
+
+	var reports []*lint.Report
+	for _, in := range inputs {
+		if *confirm > 0 && in.sys != nil {
+			lint.Confirm(in.report, in.sys, lint.ConfirmOptions{
+				MaxStates: *confirm, Workers: *workers,
+			})
+		}
+		reports = append(reports, in.report)
 	}
 
 	var err error
@@ -96,11 +124,13 @@ func main() {
 }
 
 // lintFile lints one topology file, folding I/O and parse problems into
-// the report as findings so a bad file cannot abort a multi-file run.
-func lintFile(path string) *lint.Report {
+// the report as findings so a bad file cannot abort a multi-file run. The
+// built system is returned alongside when the spec builds, for dynamic
+// confirmation.
+func lintFile(path string) (*lint.Report, *topology.System) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return errorReport(path, "read", err)
+		return errorReport(path, "read", err), nil
 	}
 	if isConfedSpec(data) {
 		return &lint.Report{
@@ -111,13 +141,18 @@ func lintFile(path string) *lint.Report {
 				Severity: lint.Info,
 				Detail:   "confederation spec (subASes): skipped — confed-BGP uses a different session model",
 			}},
-		}
+		}, nil
 	}
 	spec, err := topology.ParseSpec(bytes.NewReader(data))
 	if err != nil {
-		return errorReport(path, "parse", err)
+		return errorReport(path, "parse", err), nil
 	}
-	return lint.LintSpec(path, spec)
+	r := lint.LintSpec(path, spec)
+	sys, buildErr := topology.BuildSpec(spec)
+	if buildErr != nil {
+		sys = nil
+	}
+	return r, sys
 }
 
 // isConfedSpec sniffs for the confederation schema's mandatory subASes key.

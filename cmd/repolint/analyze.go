@@ -53,6 +53,23 @@ var mutatingPathSetMethods = map[string]bool{
 	"Union":  true,
 }
 
+// hotkeyPackages are the import-path suffixes of the exploration hot path.
+// State identity there must go through the binary codec (EncodeState words
+// interned in the explore arena); building keys with fmt formatting is how
+// the old per-state string allocation crept in, so Sprintf/Fprintf are
+// banned outside String methods. Errorf and the Print family stay allowed
+// — they never become keys.
+var hotkeyPackages = []string{
+	"internal/protocol",
+	"internal/explore",
+}
+
+// hotkeyFuncs are the fmt formatters that produce or fill key material.
+var hotkeyFuncs = map[string]bool{
+	"Sprintf": true,
+	"Fprintf": true,
+}
+
 // globalRandFuncs are the top-level math/rand functions that draw from the
 // shared, process-global source. Every random draw in internal/... must come
 // from an explicitly seeded *rand.Rand (rand.New(rand.NewSource(seed))):
@@ -187,15 +204,20 @@ func Analyze(dirs []string) ([]Finding, error) {
 		}
 		sort.Strings(paths)
 		internal := strings.Contains(filepath.ToSlash(p.dir)+"/", "internal/")
+		hot := inHotkeyPackage(p.dir)
 		for _, path := range paths {
 			file := p.files[path]
 			a.checkSwitches(p, file)
 			a.checkPathSetMutation(file)
+			a.checkEmptyInterface(file)
 			if det {
 				a.checkMapRange(file)
 			}
 			if internal {
 				a.checkGlobalRand(file)
+			}
+			if hot && !strings.HasSuffix(path, "_test.go") {
+				a.checkHotKey(file)
 			}
 		}
 	}
@@ -212,6 +234,16 @@ func Analyze(dirs []string) ([]Finding, error) {
 func inDetPackage(dir string) bool {
 	d := filepath.ToSlash(dir)
 	for _, suffix := range detPackages {
+		if strings.HasSuffix(d, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func inHotkeyPackage(dir string) bool {
+	d := filepath.ToSlash(dir)
+	for _, suffix := range hotkeyPackages {
 		if strings.HasSuffix(d, suffix) {
 			return true
 		}
@@ -478,6 +510,67 @@ func (a *analyzer) checkGlobalRand(file *ast.File) {
 				"%s.%s draws from the process-global math/rand source: results are no longer a pure "+
 					"function of the seed — use rand.New(rand.NewSource(seed)) instead", randName, sel.Sel.Name)
 		}
+		return true
+	})
+}
+
+// checkHotKey flags fmt.Sprintf/fmt.Fprintf in the state hot path
+// (internal/protocol, internal/explore, non-test files): formatted strings
+// there are almost always state keys, and string keys are exactly what the
+// interned binary arena replaced. String methods are exempt — rendering
+// for humans is their job. The import's local name is tracked so aliased
+// imports don't dodge the check.
+func (a *analyzer) checkHotKey(file *ast.File) {
+	fmtName := ""
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != "fmt" {
+			continue
+		}
+		fmtName = "fmt"
+		if imp.Name != nil {
+			fmtName = imp.Name.Name
+		}
+	}
+	if fmtName == "" || fmtName == "_" || fmtName == "." {
+		return
+	}
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || fd.Name.Name == "String" {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !hotkeyFuncs[sel.Sel.Name] {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == fmtName && id.Obj == nil {
+				a.report(call.Pos(), "hotkey",
+					"%s.%s in the exploration hot path: string-built state keys were replaced by the "+
+						"interned binary arena (EncodeState words) — keep key construction binary, or move "+
+						"rendering into a String method", fmtName, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// checkEmptyInterface flags the pre-generics spelling interface{}: the
+// repo writes the empty interface as any (Go 1.18+), and mixing the two
+// spellings makes grep-ability and gofmt churn worse. The check is purely
+// syntactic — `any` parses as an identifier, so it is never flagged.
+func (a *analyzer) checkEmptyInterface(file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		it, ok := n.(*ast.InterfaceType)
+		if !ok || it.Methods == nil || len(it.Methods.List) > 0 {
+			return true
+		}
+		a.report(it.Pos(), "empty-interface",
+			"interface{} spelled out: write any instead (the repo is Go 1.18+ throughout)")
 		return true
 	})
 }

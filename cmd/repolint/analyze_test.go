@@ -260,6 +260,141 @@ func viaPointer(set *bgp.PathSet, i int) {
 	}
 }
 
+// TestSeededHotKey proves fmt.Sprintf/Fprintf are flagged in the hot-path
+// packages (internal/protocol, internal/explore) — including under an
+// import alias — while String methods, fmt.Errorf, test files and other
+// packages stay clean.
+func TestSeededHotKey(t *testing.T) {
+	findings := analyzeTree(t, map[string]string{
+		"internal/protocol/key.go": `package protocol
+
+import "fmt"
+
+type Engine struct{ n int }
+
+func (e *Engine) StateKey() string {
+	return fmt.Sprintf("%d", e.n)
+}
+
+func (e *Engine) String() string {
+	return fmt.Sprintf("engine(%d)", e.n)
+}
+
+func (e *Engine) check() error {
+	return fmt.Errorf("bad engine %d", e.n)
+}
+`,
+		"internal/explore/key.go": `package explore
+
+import (
+	"strings"
+
+	f "fmt"
+)
+
+func key(xs []int) string {
+	var b strings.Builder
+	for _, x := range xs {
+		f.Fprintf(&b, "%d;", x)
+	}
+	return b.String()
+}
+`,
+		"internal/explore/key_test.go": `package explore
+
+import "fmt"
+
+func testKey(x int) string {
+	return fmt.Sprintf("%d", x)
+}
+`,
+		"internal/trace/render.go": `package trace
+
+import "fmt"
+
+func render(x int) string {
+	return fmt.Sprintf("%d", x)
+}
+`,
+	})
+	if !hasFinding(findings, "hotkey", "fmt.Sprintf") {
+		t.Errorf("Sprintf key in internal/protocol not flagged; findings: %v", findings)
+	}
+	if !hasFinding(findings, "hotkey", "f.Fprintf") {
+		t.Errorf("aliased Fprintf key in internal/explore not flagged; findings: %v", findings)
+	}
+	for _, f := range findings {
+		if f.Check != "hotkey" {
+			continue
+		}
+		if strings.Contains(f.Pos.Filename, "_test.go") {
+			t.Errorf("hotkey flagged in a test file: %v", f)
+		}
+		if strings.Contains(f.Pos.Filename, "render.go") {
+			t.Errorf("hotkey flagged outside the hot-path packages: %v", f)
+		}
+	}
+	// Exactly the two genuine key constructions: the String method and
+	// Errorf must not fire.
+	count := 0
+	for _, f := range findings {
+		if f.Check == "hotkey" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("want exactly 2 hotkey findings, got %d: %v", count, findings)
+	}
+}
+
+// TestSeededEmptyInterface proves interface{} is flagged repo-wide — in
+// parameters, results and composite types — while any and non-empty
+// interfaces are not.
+func TestSeededEmptyInterface(t *testing.T) {
+	findings := analyzeTree(t, map[string]string{
+		"internal/heap/heap.go": `package heap
+
+type queue []any
+
+func (q *queue) Push(x interface{}) { *q = append(*q, x) }
+
+func (q *queue) Pop() interface{} {
+	old := *q
+	x := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return x
+}
+
+func modern(args ...any) []any { return args }
+
+type Stringer interface {
+	String() string
+}
+`,
+		"cmd/tool/main.go": `package main
+
+func main() {
+	var boxes []map[string]interface{}
+	_ = boxes
+}
+`,
+	})
+	count := 0
+	for _, f := range findings {
+		if f.Check == "empty-interface" {
+			count++
+		}
+	}
+	if count != 3 {
+		t.Errorf("want exactly 3 empty-interface findings (Push, Pop, main), got %d: %v", count, findings)
+	}
+	for _, f := range findings {
+		if f.Check == "empty-interface" && strings.Contains(f.Msg, "Stringer") {
+			t.Errorf("non-empty interface misflagged: %v", f)
+		}
+	}
+}
+
 // TestRepoIsClean runs the analyzer over the actual repository — the same
 // invocation CI uses — and requires zero findings.
 func TestRepoIsClean(t *testing.T) {

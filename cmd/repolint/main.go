@@ -1,5 +1,5 @@
 // Command repolint is this repository's own correctness linter. It runs
-// four purely syntactic go/ast checks that encode invariants the paper
+// six purely syntactic go/ast checks that encode invariants the paper
 // reproduction depends on:
 //
 //   - exhaustive-switch: a switch over one of the behaviour-steering enums
@@ -23,6 +23,16 @@
 //     census aggregates stop being pure functions of their seed. Build an
 //     explicit source with rand.New(rand.NewSource(seed)) instead (the
 //     constructors New, NewSource and NewZipf remain allowed).
+//
+//   - hotkey: inside internal/protocol and internal/explore (non-test
+//     files), fmt.Sprintf and fmt.Fprintf are banned outside String
+//     methods. Formatted strings in those packages are almost always state
+//     keys, and string state keys are exactly the per-state allocation the
+//     interned binary arena (Engine.EncodeState + explore's arena)
+//     replaced. fmt.Errorf and the Print family stay allowed.
+//
+//   - empty-interface: the pre-generics spelling interface{} is banned
+//     repo-wide in favour of any (Go 1.18+).
 //
 // Usage:
 //

@@ -1,0 +1,156 @@
+package ibgp
+
+// BenchmarkReachable and BenchmarkStateCodec pin the interned-arena
+// exploration core: serial-vs-parallel wall clock and heap allocations per
+// visited state go to BENCH_explore.json so the perf trajectory
+// accumulates across commits. As with the census benchmark, the two
+// worker configurations must produce byte-identical analyses — speed may
+// never come from changed results.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/explore"
+	"repro/internal/protocol"
+	"repro/internal/selection"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// benchExploreSystem is the pinned exploration workload: a 3-cluster
+// MED-rich draw whose classic reachable graph has ~16k states and ~190k
+// transitions — big enough that per-state costs dominate setup.
+func benchExploreSystem(b *testing.B) *topology.System {
+	b.Helper()
+	params := workload.Params{
+		Clusters: 3, MinClients: 2, MaxClients: 3, ASes: 3,
+		Exits: 8, MaxMED: 3, MaxCost: 8, ExtraLinks: 3,
+	}
+	sys, err := workload.Generate(params, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func benchReachable(b *testing.B, sys *topology.System, workers int) (explore.Analysis, time.Duration) {
+	b.Helper()
+	e := protocol.New(sys, protocol.Classic, selection.Options{})
+	begin := time.Now()
+	a := explore.Reachable(e, explore.Options{
+		Mode: explore.SingletonsPlusAll, MaxStates: 200000, Workers: workers,
+	})
+	elapsed := time.Since(begin)
+	if a.Truncated {
+		b.Fatal("benchmark exploration truncated; raise MaxStates")
+	}
+	return a, elapsed
+}
+
+func sameAnalysis(x, y explore.Analysis) bool {
+	if x.States != y.States || x.Transitions != y.Transitions ||
+		x.Truncated != y.Truncated || len(x.FixedPoints) != len(y.FixedPoints) {
+		return false
+	}
+	for i := range x.FixedPoints {
+		if !x.FixedPoints[i].Equal(y.FixedPoints[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkReachable(b *testing.B) {
+	sys := benchExploreSystem(b)
+	workers := runtime.GOMAXPROCS(0)
+
+	// Heap discipline first: the arena path must not allocate a string key
+	// or a cloned snapshot per visited state, so mallocs per state stays in
+	// single digits (amortised arena/index growth) instead of tens.
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	probe, _ := benchReachable(b, sys, 1)
+	runtime.ReadMemStats(&after)
+	mallocsPerState := float64(after.Mallocs-before.Mallocs) / float64(probe.States)
+
+	var serial, parallel time.Duration
+	var aSerial, aParallel explore.Analysis
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aSerial, serial = benchReachable(b, sys, 1)
+		aParallel, parallel = benchReachable(b, sys, workers)
+		if !sameAnalysis(aSerial, aParallel) {
+			b.Fatalf("workers=1 and workers=%d analyses diverge: %+v vs %+v",
+				workers, aSerial, aParallel)
+		}
+	}
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
+	b.ReportMetric(mallocsPerState, "mallocs/state")
+
+	record := struct {
+		Job             string  `json:"job"`
+		States          int     `json:"states"`
+		Transitions     int     `json:"transitions"`
+		Workers         int     `json:"workers"`
+		SerialSec       float64 `json:"serial_sec"`
+		ParallelSec     float64 `json:"parallel_sec"`
+		Speedup         float64 `json:"speedup"`
+		MallocsPerState float64 `json:"mallocs_per_state"`
+		Identical       bool    `json:"analyses_identical"`
+	}{
+		Job:             "reachable/3-cluster-med-rich-seed13",
+		States:          aSerial.States,
+		Transitions:     aSerial.Transitions,
+		Workers:         workers,
+		SerialSec:       serial.Seconds(),
+		ParallelSec:     parallel.Seconds(),
+		Speedup:         serial.Seconds() / parallel.Seconds(),
+		MallocsPerState: mallocsPerState,
+		Identical:       true,
+	}
+	writeBenchJSON(b, "BENCH_explore.json", record)
+}
+
+// BenchmarkStateCodec measures one encode+decode round trip with reused
+// buffers — the inner loop of both the serial and the parallel search.
+// With warm scratch this is allocation-free; b.ReportAllocs keeps it so.
+func BenchmarkStateCodec(b *testing.B) {
+	sys := benchExploreSystem(b)
+	e := protocol.New(sys, protocol.Classic, selection.Options{})
+	all := make([]bgp.NodeID, sys.N())
+	for u := range all {
+		all[u] = bgp.NodeID(u)
+	}
+	e.ActivateSet(all)
+	dst := make([]uint64, 0, e.StateWords())
+	dst = e.EncodeState(dst)
+	if err := e.DecodeState(dst); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = e.EncodeState(dst[:0])
+		if err := e.DecodeState(dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func writeBenchJSON(b *testing.B, path string, record any) {
+	b.Helper()
+	out, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

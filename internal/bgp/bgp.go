@@ -223,6 +223,76 @@ func (s PathSet) Clone() PathSet {
 	return c
 }
 
+// Copy replaces s's contents with t's, reusing s's storage where possible.
+// It is the allocation-free counterpart of Clone for scratch sets that are
+// overwritten repeatedly.
+func (s *PathSet) Copy(t PathSet) {
+	s.words = append(s.words[:0], t.words...)
+}
+
+// Clear empties the set, keeping its storage for reuse.
+func (s *PathSet) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// WordsLen returns the number of significant 64-bit words: trailing zero
+// words are excluded, so equal sets have equal WordsLen regardless of how
+// their storage grew.
+func (s PathSet) WordsLen() int {
+	end := len(s.words)
+	for end > 0 && s.words[end-1] == 0 {
+		end--
+	}
+	return end
+}
+
+// AppendWords appends the significant words (WordsLen of them, lowest
+// first) to dst and returns the extended slice. It is the binary,
+// allocation-free counterpart of Key: equal sets append equal words.
+func (s PathSet) AppendWords(dst []uint64) []uint64 {
+	return append(dst, s.words[:s.WordsLen()]...)
+}
+
+// SetWords replaces the set's contents with the given bitset words (lowest
+// first), copying them into the set's own storage. Trailing zero words are
+// permitted; the resulting set equals one built by Add-ing every set bit.
+func (s *PathSet) SetWords(ws []uint64) {
+	s.words = append(s.words[:0], ws...)
+}
+
+// Hash returns a 64-bit hash of the set's contents. Equal sets hash
+// equally regardless of internal capacity; the hash is not collision-free
+// and callers deduplicating by it must verify with Equal or the words.
+func (s PathSet) Hash() uint64 {
+	h := uint64(1469598103934665603) // FNV offset basis
+	for _, w := range s.words[:s.WordsLen()] {
+		h = hashMixWord(h, w)
+	}
+	return h
+}
+
+// hashMixWord folds one 64-bit word into a running hash. Shared by
+// PathSet.Hash and the word-vector hashing of the exploration arena so
+// both stay consistent.
+func hashMixWord(h, w uint64) uint64 {
+	h ^= w
+	h *= 1099511628211 // FNV prime
+	return h ^ (h >> 29)
+}
+
+// HashWords hashes a word vector with the same mixing function as
+// PathSet.Hash. It is the dedup hash of the state-interning arena in
+// package explore.
+func HashWords(ws []uint64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, w := range ws {
+		h = hashMixWord(h, w)
+	}
+	return h
+}
+
 // Equal reports whether s and t contain exactly the same paths.
 func (s PathSet) Equal(t PathSet) bool {
 	long, short := s.words, t.words

@@ -44,6 +44,12 @@ type CensusJob struct {
 	SampleSeeds int
 	// SampleSteps bounds each sampled run (default 4000).
 	SampleSteps int
+	// Workers is the number of goroutines each seed's reachable-state
+	// search uses (explore.Options.Workers). Verdicts and aggregates are
+	// identical for every value; it composes with campaign sharding, so
+	// shards*workers should not exceed the machine. Values below 2 run
+	// serially.
+	Workers int
 }
 
 func (j CensusJob) Name() string { return "census" }
@@ -111,6 +117,7 @@ func (j CensusJob) Run(ctx context.Context, seed int64, m *Meter) SeedResult {
 			e := protocol.New(sys, policy, selection.Options{})
 			a := explore.Reachable(e, explore.Options{
 				Mode: explore.SingletonsPlusAll, MaxStates: j.MaxStates, Ctx: ctx,
+				Workers: j.Workers,
 			})
 			m.States.Add(int64(a.States))
 			if a.Truncated {
@@ -174,6 +181,9 @@ type Fig13Job struct {
 	// ExhaustiveBudget bounds the confirming reachable-state search on
 	// sampled hits; 0 keeps sampling verdicts.
 	ExhaustiveBudget int
+	// Workers parallelises the confirming searches per seed; verdicts are
+	// identical for every value (see CensusJob.Workers).
+	Workers int
 }
 
 func (j Fig13Job) Name() string { return "fig13" }
@@ -190,7 +200,7 @@ func (j Fig13Job) Run(ctx context.Context, seed int64, m *Meter) SeedResult {
 		return res
 	}
 	res.Nodes = sys.N()
-	v := workload.ClassifyCtx(ctx, sys, j.ExhaustiveBudget)
+	v := workload.ClassifyWith(ctx, sys, j.ExhaustiveBudget, j.Workers)
 	res.ClassicOsc = v.ClassicOscillates
 	res.WaltonOsc = v.WaltonOscillates
 	res.ModifiedConv = v.ModifiedConverges

@@ -1,0 +1,61 @@
+package explore
+
+import "repro/internal/bgp"
+
+// arena is the interned state store of the reachable-configuration search.
+// Every distinct configuration, encoded as a fixed-stride word vector by
+// protocol.Engine.EncodeState, is stored exactly once in one flat []uint64
+// and identified by its dense int32 id in discovery order. Deduplication
+// hashes the word vector and verifies candidate matches word-for-word, so
+// hash collisions cannot merge distinct states.
+//
+// Discovery order doubles as breadth-first order: the BFS enqueues states
+// exactly when it interns them, so "the queue" is nothing but the id range
+// [head, count) and the arena replaces the per-state string keys and cloned
+// snapshots of the previous implementation.
+type arena struct {
+	stride int
+	count  int
+	words  []uint64           // count * stride words, state id * stride ...
+	index  map[uint64][]int32 // word-vector hash -> candidate ids
+}
+
+func newArena(stride int) *arena {
+	return &arena{stride: stride, index: make(map[uint64][]int32)}
+}
+
+// at returns the word vector of state id, viewing the arena's storage. The
+// view is invalidated by the next intern that grows the arena.
+func (a *arena) at(id int32) []uint64 {
+	off := int(id) * a.stride
+	return a.words[off : off+a.stride]
+}
+
+// intern returns the id of the state with the given word vector, adding it
+// to the arena when unseen. The second result reports whether the state was
+// new. The vector is copied; callers may reuse w.
+func (a *arena) intern(w []uint64) (int32, bool) {
+	h := bgp.HashWords(w)
+	for _, id := range a.index[h] {
+		if wordsEqual(a.at(id), w) {
+			return id, false
+		}
+	}
+	id := int32(a.count)
+	a.count++
+	a.words = append(a.words, w...)
+	a.index[h] = append(a.index[h], id)
+	return id, true
+}
+
+func wordsEqual(x, y []uint64) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -10,6 +10,8 @@ package explore
 
 import (
 	"context"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bgp"
 	"repro/internal/protocol"
@@ -59,22 +61,19 @@ type Options struct {
 	// the search stops early with Truncated set, so long-running censuses
 	// can be interrupted between states rather than between seeds.
 	Ctx context.Context
+	// Workers sets the number of goroutines expanding the frontier; values
+	// below 2 run serially. Parallel exploration is deterministic: the
+	// Analysis — state and transition counts, truncation, and the order of
+	// FixedPoints — is byte-identical to the serial result for every worker
+	// count, because successors are folded into the arena in frontier
+	// order regardless of which worker computed them.
+	Workers int
 }
 
-// Reachable explores every configuration reachable from the engine's
-// current configuration. The engine is restored to its starting
-// configuration before returning.
-func Reachable(e *protocol.Engine, opts Options) Analysis {
-	maxStates := opts.MaxStates
-	if maxStates <= 0 {
-		maxStates = 200000
-	}
-	n := e.Sys().N()
-	start := e.Snapshot()
-	defer e.RestoreSnapshot(start)
-
+// activationSets materialises the successor relation for an n-node system.
+func activationSets(n int, mode SuccessorMode) [][]bgp.NodeID {
 	var sets [][]bgp.NodeID
-	switch opts.Mode {
+	switch mode {
 	case AllSubsets:
 		for mask := 1; mask < 1<<n; mask++ {
 			var set []bgp.NodeID
@@ -99,50 +98,180 @@ func Reachable(e *protocol.Engine, opts Options) Analysis {
 			sets = append(sets, []bgp.NodeID{bgp.NodeID(u)})
 		}
 	}
+	return sets
+}
+
+// expansion holds one frontier state's precomputed outcome: whether it is a
+// fixed point and, if not, the concatenated successor encodings (one
+// stride-sized vector per activation set, in set order).
+type expansion struct {
+	stable bool
+	succs  []uint64
+}
+
+// expand computes the expansion of the state stored at ar.at(id) into out,
+// reusing out's successor buffer.
+func expand(e *protocol.Engine, ar *arena, id int32, sets [][]bgp.NodeID, out *expansion) {
+	e.DecodeState(ar.at(id))
+	if e.Stable() {
+		out.stable = true
+		return
+	}
+	out.stable = false
+	out.succs = out.succs[:0]
+	for _, set := range sets {
+		e.DecodeState(ar.at(id))
+		e.ActivateSet(set)
+		out.succs = e.EncodeState(out.succs)
+	}
+}
+
+// Reachable explores every configuration reachable from the engine's
+// current configuration by breadth-first search over an interned state
+// arena: each distinct configuration is encoded once as a fixed-width word
+// vector, deduplicated by hash with full-word verification, and identified
+// by its discovery index — no per-state string keys or snapshot clones.
+// The engine is restored to its starting configuration before returning.
+func Reachable(e *protocol.Engine, opts Options) Analysis {
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = 200000
+	}
+	sets := activationSets(e.Sys().N(), opts.Mode)
+	stride := e.StateWords()
+	ar := newArena(stride)
+	ar.intern(e.EncodeState(make([]uint64, 0, stride)))
+	defer func() { e.DecodeState(ar.at(0)) }()
 
 	a := Analysis{}
-	seen := map[string]bool{}
-	type qent struct {
-		snap protocol.Snapshot
-		key  string
+	var fixed []int32
+	if opts.Workers > 1 {
+		fixed = reachableParallel(e, ar, sets, maxStates, opts, &a)
+	} else {
+		fixed = reachableSerial(e, ar, sets, maxStates, opts, &a)
 	}
-	startKey := e.StateKey()
-	queue := []qent{{snap: start, key: startKey}}
-	seen[startKey] = true
+	for _, id := range fixed {
+		e.DecodeState(ar.at(id))
+		a.FixedPoints = append(a.FixedPoints, e.Snapshot())
+	}
+	return a
+}
 
-	for len(queue) > 0 {
+// reachableSerial runs the BFS on the caller's engine. The queue is the id
+// range [head, ar.count): states are interned in discovery order, so FIFO
+// order and arena order coincide.
+func reachableSerial(e *protocol.Engine, ar *arena, sets [][]bgp.NodeID, maxStates int, opts Options, a *Analysis) []int32 {
+	var fixed []int32
+	var out expansion
+	head := 0
+	for head < ar.count {
 		if opts.Ctx != nil && opts.Ctx.Err() != nil {
 			a.Truncated = true
 			break
 		}
-		cur := queue[0]
-		queue = queue[1:]
+		cur := int32(head)
+		head++
 		a.States++
 		if a.States > maxStates {
 			a.Truncated = true
 			break
 		}
-		e.RestoreSnapshot(cur.snap)
-		if e.Stable() {
-			a.FixedPoints = append(a.FixedPoints, cur.snap)
+		expand(e, ar, cur, sets, &out)
+		if out.stable {
 			// A fixed point has only self-loop successors; skip expanding.
+			fixed = append(fixed, cur)
 			continue
 		}
-		for _, set := range sets {
-			e.RestoreSnapshot(cur.snap)
-			e.ActivateSet(set)
+		for off := 0; off < len(out.succs); off += ar.stride {
 			a.Transitions++
-			key := e.StateKey()
-			if !seen[key] {
-				seen[key] = true
-				queue = append(queue, qent{snap: e.Snapshot(), key: key})
-			}
+			ar.intern(out.succs[off : off+ar.stride])
 		}
 	}
-	if len(queue) > 0 {
+	if head < ar.count {
 		a.Truncated = true
 	}
-	return a
+	return fixed
+}
+
+// reachableParallel runs the same BFS with level-synchronized frontier
+// expansion: each round, the unexpanded id range [lo, hi) is claimed
+// state-by-state by workers that compute expansions on private engine
+// clones, then a single sequential fold interns the successors in frontier
+// order. Interning order — hence every arena id, count, and the final
+// Analysis — matches the serial run exactly.
+func reachableParallel(e *protocol.Engine, ar *arena, sets [][]bgp.NodeID, maxStates int, opts Options, a *Analysis) []int32 {
+	engines := make([]*protocol.Engine, opts.Workers)
+	engines[0] = e
+	for i := 1; i < len(engines); i++ {
+		engines[i] = e.Clone()
+	}
+	var fixed []int32
+	results := []expansion(nil)
+	lo := 0
+	for lo < ar.count {
+		hi := ar.count
+		// Never expand deeper than the truncation limit can consume: the
+		// fold below stops after maxStates-a.States+1 more states.
+		if rem := maxStates - a.States + 1; hi-lo > rem {
+			hi = lo + rem
+		}
+		for len(results) < hi-lo {
+			results = append(results, expansion{})
+		}
+		var next atomic.Int64
+		next.Store(int64(lo))
+		var wg sync.WaitGroup
+		for w := 0; w < len(engines) && w < hi-lo; w++ {
+			wg.Add(1)
+			go func(we *protocol.Engine) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= hi {
+						return
+					}
+					expand(we, ar, int32(i), sets, &results[i-lo])
+				}
+			}(engines[w])
+		}
+		wg.Wait()
+
+		// Sequential fold in frontier order: byte-identical accounting and
+		// arena growth to the serial loop.
+		truncated := false
+		for i := lo; i < hi; i++ {
+			if opts.Ctx != nil && opts.Ctx.Err() != nil {
+				a.Truncated = true
+				truncated = true
+				lo = i
+				break
+			}
+			a.States++
+			if a.States > maxStates {
+				a.Truncated = true
+				truncated = true
+				lo = i + 1
+				break
+			}
+			out := &results[i-lo]
+			if out.stable {
+				fixed = append(fixed, int32(i))
+				continue
+			}
+			for off := 0; off < len(out.succs); off += ar.stride {
+				a.Transitions++
+				ar.intern(out.succs[off : off+ar.stride])
+			}
+		}
+		if truncated {
+			break
+		}
+		lo = hi
+	}
+	if lo < ar.count {
+		a.Truncated = true
+	}
+	return fixed
 }
 
 // StableEnumeration is the result of EnumerateStableClassic.
@@ -201,7 +330,8 @@ func EnumerateStableClassicCtx(ctx context.Context, e *protocol.Engine, budget i
 			return res
 		}
 		for u := 0; u < n; u++ {
-			adv[u] = bgp.NewPathSet(cand[u][idx[u]])
+			adv[u].Clear()
+			adv[u].Add(cand[u][idx[u]])
 		}
 		if e.InducedConfig(adv) && e.Stable() {
 			res.Solutions = append(res.Solutions, e.Snapshot())

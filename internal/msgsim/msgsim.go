@@ -108,9 +108,9 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]
@@ -204,7 +204,7 @@ func (s *Sim) SetMRAI(d int64) {
 	s.mrai = d
 }
 
-func (s *Sim) tracef(format string, args ...interface{}) {
+func (s *Sim) tracef(format string, args ...any) {
 	if s.observer != nil {
 		s.observer(fmt.Sprintf("t=%-6d %s", s.now, fmt.Sprintf(format, args...)))
 	}

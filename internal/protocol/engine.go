@@ -97,6 +97,18 @@ type Engine struct {
 
 	step     int
 	observer func(Event)
+
+	// Scratch storage for the hot path. Activations, stability checks and
+	// the state codec run allocation-free by reusing these buffers; they
+	// carry no state between calls and are never shared between engines
+	// (Clone starts its copy with fresh scratch).
+	gatherSet    bgp.PathSet    // gather target, swapped into possible[u]
+	advNext      bgp.PathSet    // recompute target, swapped into advertised[u]
+	advFrozen    []bgp.PathSet  // pre-step advertised sets (ActivateSet, InducedConfig)
+	lfScratch    []int          // learnedFrom scratch for WouldChange
+	routeScratch []bgp.Route    // candidate materialisation
+	bestScratch  []bgp.Route    // selection.BestInPlace target in recompute
+	pathScratch  []bgp.ExitPath // survivor-set materialisation
 }
 
 // New returns an engine in the paper's initial configuration:
@@ -120,6 +132,7 @@ func New(sys *topology.System, policy Policy, opts selection.Options) *Engine {
 		e.myExits[u] = sys.MyExitSet(bgp.NodeID(u))
 		e.learned[u] = make([]int, sys.NumExits())
 	}
+	e.lfScratch = make([]int, sys.NumExits())
 	e.ResetAll()
 	return e
 }
@@ -202,42 +215,44 @@ func (e *Engine) BestRoute(u bgp.NodeID) (bgp.Route, bool) {
 // GoodExits returns Choose^B(PossibleExits(u)) — the set the modified
 // protocol advertises from u.
 func (e *Engine) GoodExits(u bgp.NodeID) bgp.PathSet {
-	paths := e.pathsOf(e.possible[u])
 	var out bgp.PathSet
-	for _, p := range selection.SurvivorsB(paths, e.opts.MED) {
+	for _, p := range selection.SurvivorsB(e.pathsInto(e.possible[u]), e.opts.MED) {
 		out.Add(p.ID)
 	}
 	return out
 }
 
-func (e *Engine) pathsOf(s bgp.PathSet) []bgp.ExitPath {
-	ids := s.IDs()
-	ps := make([]bgp.ExitPath, len(ids))
-	for i, id := range ids {
-		ps[i] = e.sys.Exit(id)
-	}
-	return ps
+// pathsInto materialises the exit paths of s into the engine's path
+// scratch slice. The result is valid until the next pathsInto call.
+func (e *Engine) pathsInto(s bgp.PathSet) []bgp.ExitPath {
+	e.pathScratch = e.pathScratch[:0]
+	s.ForEach(func(id bgp.PathID) {
+		e.pathScratch = append(e.pathScratch, e.sys.Exit(id))
+	})
+	return e.pathScratch
 }
 
-// candidates materialises the routes of u's PossibleExits with their
-// learnedFrom attribution.
-func (e *Engine) candidates(u bgp.NodeID) []bgp.Route {
-	ids := e.possible[u].IDs()
-	rs := make([]bgp.Route, len(ids))
-	for i, id := range ids {
-		rs[i] = e.sys.Route(u, e.sys.Exit(id), e.learned[u][id])
-	}
-	return rs
+// candidatesInto materialises the routes of u's PossibleExits with their
+// learnedFrom attribution into the engine's route scratch slice. The result
+// is valid until the next candidatesInto call.
+func (e *Engine) candidatesInto(u bgp.NodeID) []bgp.Route {
+	e.routeScratch = e.routeScratch[:0]
+	e.possible[u].ForEach(func(id bgp.PathID) {
+		e.routeScratch = append(e.routeScratch, e.sys.Route(u, e.sys.Exit(id), e.learned[u][id]))
+	})
+	return e.routeScratch
 }
 
 // recompute refreshes BestRoute(u) and the advertised set of u from the
 // current PossibleExits(u). It returns true when either changed.
 func (e *Engine) recompute(u bgp.NodeID) bool {
 	oldBest := e.best[u]
-	oldAdv := e.advertised[u]
 
-	cands := e.candidates(u)
-	if w, ok := selection.Best(cands, e.opts); ok {
+	cands := e.candidatesInto(u)
+	// cands must survive for WaltonSet below, so selection compacts a
+	// second scratch copy rather than cands itself.
+	e.bestScratch = append(e.bestScratch[:0], cands...)
+	if w, ok := selection.BestInPlace(e.bestScratch, e.opts); ok {
 		e.best[u] = w.Path.ID
 	} else {
 		e.best[u] = bgp.None
@@ -253,10 +268,11 @@ func (e *Engine) recompute(u bgp.NodeID) bool {
 		e.heldBest[u].Add(e.best[u])
 	}
 
-	var adv bgp.PathSet
+	adv := &e.advNext
+	adv.Clear()
 	switch {
 	case e.policy == Modified || (e.policy == Adaptive && e.upgraded[u]):
-		for _, p := range selection.SurvivorsB(e.pathsOf(e.possible[u]), e.opts.MED) {
+		for _, p := range selection.SurvivorsB(e.pathsInto(e.possible[u]), e.opts.MED) {
 			adv.Add(p.ID)
 		}
 	case e.policy == Walton && e.sys.Role(u) == topology.Reflector:
@@ -266,20 +282,22 @@ func (e *Engine) recompute(u bgp.NodeID) bool {
 	default:
 		adv.Add(e.best[u])
 	}
-	e.advertised[u] = adv
-	return oldBest != e.best[u] || !oldAdv.Equal(adv)
+	changed := oldBest != e.best[u] || !e.advertised[u].Equal(*adv)
+	e.advertised[u], e.advNext = e.advNext, e.advertised[u]
+	return changed
 }
 
-// gather computes the new PossibleExits(u) into lf (which must have
-// NumExits entries): u's own exits plus everything its peers currently
-// offer that the Transfer relation lets through, with learnedFrom
-// attribution recorded per received path.
-func (e *Engine) gather(u bgp.NodeID, advertised []bgp.PathSet, lf []int) bgp.PathSet {
-	next := e.myExits[u].Clone()
+// gatherInto computes the new PossibleExits(u) into dst (reusing its
+// storage) and records learnedFrom attribution per received path into lf
+// (which must have NumExits entries): u's own exits plus everything its
+// peers currently offer that the Transfer relation lets through. dst must
+// not alias any of the advertised sets.
+func (e *Engine) gatherInto(dst *bgp.PathSet, u bgp.NodeID, advertised []bgp.PathSet, lf []int) {
+	dst.Copy(e.myExits[u])
 	for i := range lf {
 		lf[i] = -1
 	}
-	next.ForEach(func(id bgp.PathID) {
+	dst.ForEach(func(id bgp.PathID) {
 		lf[id] = ownLearnedFrom(e.sys.Exit(id))
 	})
 	for _, w := range e.sys.Peers(u) {
@@ -289,7 +307,7 @@ func (e *Engine) gather(u bgp.NodeID, advertised []bgp.PathSet, lf []int) bgp.Pa
 			if !e.sys.Transfers(w, u, p) {
 				return
 			}
-			next.Add(id)
+			dst.Add(id)
 			if p.TieBreak >= 0 {
 				lf[id] = p.TieBreak
 			} else if (lf[id] < 0 || bid < lf[id]) && p.ExitPoint != u {
@@ -297,7 +315,6 @@ func (e *Engine) gather(u bgp.NodeID, advertised []bgp.PathSet, lf []int) bgp.Pa
 			}
 		})
 	}
-	return next
 }
 
 // Activate performs one activation of node u against the current advertised
@@ -307,11 +324,11 @@ func (e *Engine) Activate(u bgp.NodeID) bool {
 }
 
 func (e *Engine) activateAgainst(u bgp.NodeID, adv []bgp.PathSet) bool {
-	oldPossible := e.possible[u]
 	oldBest := e.best[u]
-	next := e.gather(u, adv, e.learned[u])
-	e.possible[u] = next
-	changed := e.recompute(u) || !oldPossible.Equal(next)
+	e.gatherInto(&e.gatherSet, u, adv, e.learned[u])
+	samePossible := e.gatherSet.Equal(e.possible[u])
+	e.possible[u], e.gatherSet = e.gatherSet, e.possible[u]
+	changed := e.recompute(u) || !samePossible
 	e.step++
 	if e.observer != nil {
 		e.observer(Event{
@@ -334,36 +351,46 @@ func (e *Engine) ActivateSet(set []bgp.NodeID) bool {
 	if len(set) == 1 {
 		return e.Activate(set[0])
 	}
-	snapshot := make([]bgp.PathSet, len(e.advertised))
-	for i, s := range e.advertised {
-		snapshot[i] = s.Clone()
-	}
+	frozen := e.frozenAdvertised(e.advertised)
 	changed := false
 	for _, u := range set {
-		if e.activateAgainst(u, snapshot) {
+		if e.activateAgainst(u, frozen) {
 			changed = true
 		}
 	}
 	return changed
 }
 
+// frozenAdvertised copies adv into the engine's advFrozen scratch so a
+// multi-node step can gather against the pre-step advertisements while
+// recompute swaps the live ones underneath. Callers must take the copy once
+// at the start of the step; activateAgainst never writes into advFrozen.
+func (e *Engine) frozenAdvertised(adv []bgp.PathSet) []bgp.PathSet {
+	if len(e.advFrozen) < len(adv) {
+		e.advFrozen = make([]bgp.PathSet, len(adv))
+	}
+	for i := range adv {
+		e.advFrozen[i].Copy(adv[i])
+	}
+	return e.advFrozen[:len(adv)]
+}
+
 // WouldChange reports whether activating u right now would alter u's state,
 // without performing the activation.
 func (e *Engine) WouldChange(u bgp.NodeID) bool {
-	lf := make([]int, e.sys.NumExits())
-	next := e.gather(u, e.advertised, lf)
-	if !next.Equal(e.possible[u]) {
+	lf := e.lfScratch
+	e.gatherInto(&e.gatherSet, u, e.advertised, lf)
+	if !e.gatherSet.Equal(e.possible[u]) {
 		return true
 	}
 	// Same PossibleExits: best/advertised can still change if attribution
 	// changed for a path involved in tie-breaking.
-	ids := next.IDs()
-	rs := make([]bgp.Route, len(ids))
-	for i, id := range ids {
-		rs[i] = e.sys.Route(u, e.sys.Exit(id), lf[id])
-	}
+	e.routeScratch = e.routeScratch[:0]
+	e.gatherSet.ForEach(func(id bgp.PathID) {
+		e.routeScratch = append(e.routeScratch, e.sys.Route(u, e.sys.Exit(id), lf[id]))
+	})
 	newBest := bgp.None
-	if w, ok := selection.Best(rs, e.opts); ok {
+	if w, ok := selection.BestInPlace(e.routeScratch, e.opts); ok {
 		newBest = w.Path.ID
 	}
 	return newBest != e.best[u]
@@ -397,28 +424,6 @@ func (e *Engine) Valid() bool {
 	return true
 }
 
-// StateKey returns a canonical string identifying the current configuration
-// (PossibleExits, BestRoute and advertised set per node). Two engines with
-// equal keys, equal inputs and equal future schedules evolve identically.
-func (e *Engine) StateKey() string {
-	var b strings.Builder
-	for u := range e.possible {
-		fmt.Fprintf(&b, "%s|%d|%s;", e.possible[u].Key(), e.best[u], e.advertised[u].Key())
-	}
-	if e.policy == Adaptive {
-		// Below the threshold the revisit count and history steer future
-		// behaviour; past it only the upgrade flag does.
-		for u := range e.flaps {
-			f := e.flaps[u]
-			if f > AdaptiveThreshold {
-				f = AdaptiveThreshold
-			}
-			fmt.Fprintf(&b, "%d|%s|%v;", f, e.heldBest[u].Key(), e.upgraded[u])
-		}
-	}
-	return b.String()
-}
-
 // Upgraded reports whether node u has switched to survivor advertisement
 // under the Adaptive policy.
 func (e *Engine) Upgraded(u bgp.NodeID) bool { return e.upgraded[u] }
@@ -433,18 +438,33 @@ type Snapshot struct {
 	Advertised []bgp.PathSet
 }
 
-// Snapshot returns a deep copy of the current outcome.
+// Snapshot returns a deep copy of the current outcome. It is a convenience
+// wrapper over SnapshotInto; hot paths should reuse a Snapshot via
+// SnapshotInto instead.
 func (e *Engine) Snapshot() Snapshot {
-	s := Snapshot{
-		Best:       append([]bgp.PathID(nil), e.best...),
-		Possible:   make([]bgp.PathSet, len(e.possible)),
-		Advertised: make([]bgp.PathSet, len(e.advertised)),
-	}
-	for i := range e.possible {
-		s.Possible[i] = e.possible[i].Clone()
-		s.Advertised[i] = e.advertised[i].Clone()
-	}
+	var s Snapshot
+	e.SnapshotInto(&s)
 	return s
+}
+
+// SnapshotInto captures the current outcome into s, reusing s's storage.
+// It is the allocation-free counterpart of Snapshot once s has been filled
+// once for a system of the same size.
+func (e *Engine) SnapshotInto(s *Snapshot) {
+	n := len(e.possible)
+	s.Best = append(s.Best[:0], e.best...)
+	if cap(s.Possible) < n {
+		s.Possible = make([]bgp.PathSet, n)
+	}
+	s.Possible = s.Possible[:n]
+	if cap(s.Advertised) < n {
+		s.Advertised = make([]bgp.PathSet, n)
+	}
+	s.Advertised = s.Advertised[:n]
+	for i := 0; i < n; i++ {
+		s.Possible[i].Copy(e.possible[i])
+		s.Advertised[i].Copy(e.advertised[i])
+	}
 }
 
 // Equal reports whether two snapshots describe the same configuration.
@@ -487,10 +507,15 @@ func (s Snapshot) String() string {
 
 // RestoreSnapshot loads a previously captured configuration into the
 // engine. The snapshot must come from an engine over the same system.
-func (e *Engine) RestoreSnapshot(s Snapshot) {
+func (e *Engine) RestoreSnapshot(s Snapshot) { e.RestoreFrom(&s) }
+
+// RestoreFrom loads the configuration in s into the engine without
+// allocating: the engine's own sets absorb the snapshot's contents. The
+// snapshot is not aliased and stays valid.
+func (e *Engine) RestoreFrom(s *Snapshot) {
 	for u := range e.possible {
-		e.possible[u] = s.Possible[u].Clone()
-		e.advertised[u] = s.Advertised[u].Clone()
+		e.possible[u].Copy(s.Possible[u])
+		e.advertised[u].Copy(s.Advertised[u])
 		e.best[u] = s.Best[u]
 	}
 }
@@ -503,16 +528,14 @@ func (e *Engine) RestoreSnapshot(s Snapshot) {
 // solutions. The engine is left in the induced configuration.
 func (e *Engine) InducedConfig(adv []bgp.PathSet) bool {
 	n := e.sys.N()
-	snapshot := make([]bgp.PathSet, n)
-	for i := range snapshot {
-		snapshot[i] = adv[i].Clone()
-	}
+	frozen := e.frozenAdvertised(adv)
 	fixed := true
 	for u := 0; u < n; u++ {
 		id := bgp.NodeID(u)
-		e.possible[id] = e.gather(id, snapshot, e.learned[id])
+		e.gatherInto(&e.gatherSet, id, frozen, e.learned[id])
+		e.possible[id], e.gatherSet = e.gatherSet, e.possible[id]
 		e.recompute(id)
-		if !e.advertised[id].Equal(snapshot[u]) {
+		if !e.advertised[id].Equal(frozen[u]) {
 			fixed = false
 		}
 	}

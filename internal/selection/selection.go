@@ -200,9 +200,19 @@ func Best(cands []bgp.Route, opts Options) (bgp.Route, bool) {
 	if len(cands) == 0 {
 		return bgp.Route{}, false
 	}
-	// One defensive copy; every filter below compacts it in place.
+	// One defensive copy; BestInPlace compacts it.
 	rs := make([]bgp.Route, len(cands))
 	copy(rs, cands)
+	return BestInPlace(rs, opts)
+}
+
+// BestInPlace is Best without the defensive copy: the filters reorder and
+// truncate rs. Callers that feed a reusable scratch slice (the engine's
+// per-activation hot path) avoid Best's per-call allocation.
+func BestInPlace(rs []bgp.Route, opts Options) (bgp.Route, bool) {
+	if len(rs) == 0 {
+		return bgp.Route{}, false
+	}
 	rs = filterMaxLocalPref(rs)
 	rs = filterMinASPathLen(rs)
 	rs = filterMED(rs, opts.MED)

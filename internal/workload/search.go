@@ -58,9 +58,9 @@ func oscillatesBySampling(sys *topology.System, policy protocol.Policy, seeds in
 
 // oscillatesExhaustively proves non-stabilizability by exhausting the
 // reachable state space. ok is false when the search truncated.
-func oscillatesExhaustively(ctx context.Context, sys *topology.System, policy protocol.Policy, maxStates int) (oscillates, ok bool) {
+func oscillatesExhaustively(ctx context.Context, sys *topology.System, policy protocol.Policy, maxStates, workers int) (oscillates, ok bool) {
 	e := protocol.New(sys, policy, selection.Options{})
-	a := explore.Reachable(e, explore.Options{Mode: explore.SingletonsPlusAll, MaxStates: maxStates, Ctx: ctx})
+	a := explore.Reachable(e, explore.Options{Mode: explore.SingletonsPlusAll, MaxStates: maxStates, Ctx: ctx, Workers: workers})
 	if a.Truncated {
 		return false, false
 	}
@@ -77,6 +77,14 @@ func Classify(sys *topology.System, exhaustiveBudget int) Verdict {
 // searches; a cancelled classification reports the sampling verdicts with
 // Exhaustive false.
 func ClassifyCtx(ctx context.Context, sys *topology.System, exhaustiveBudget int) Verdict {
+	return ClassifyWith(ctx, sys, exhaustiveBudget, 1)
+}
+
+// ClassifyWith is ClassifyCtx with an explicit worker count for the
+// exhaustive reachable-state searches. The verdict is identical for every
+// worker count (explore.Reachable's determinism contract); workers only
+// buys wall clock on large state spaces.
+func ClassifyWith(ctx context.Context, sys *topology.System, exhaustiveBudget, workers int) Verdict {
 	v := Verdict{}
 	v.ClassicOscillates = oscillatesBySampling(sys, protocol.Classic, 4)
 	v.WaltonOscillates = oscillatesBySampling(sys, protocol.Walton, 4)
@@ -92,8 +100,8 @@ func ClassifyCtx(ctx context.Context, sys *topology.System, exhaustiveBudget int
 	}
 
 	if exhaustiveBudget > 0 && v.ClassicOscillates && v.WaltonOscillates {
-		co, ok1 := oscillatesExhaustively(ctx, sys, protocol.Classic, exhaustiveBudget)
-		wo, ok2 := oscillatesExhaustively(ctx, sys, protocol.Walton, exhaustiveBudget)
+		co, ok1 := oscillatesExhaustively(ctx, sys, protocol.Classic, exhaustiveBudget, workers)
+		wo, ok2 := oscillatesExhaustively(ctx, sys, protocol.Walton, exhaustiveBudget, workers)
 		if ok1 && ok2 {
 			v.ClassicOscillates = co
 			v.WaltonOscillates = wo
