@@ -1,5 +1,9 @@
-// Command ibgpsim runs one protocol variant over a topology under a chosen
-// activation schedule or message-delay model and reports the outcome.
+// Command ibgpsim runs one protocol variant over a topology and reports
+// the outcome. Three execution substrates are available: the paper's
+// abstract activation model, the message-level discrete-event simulator,
+// and real TCP speakers on the loopback interface. The two operational
+// substrates drive the identical router core and share the typed-event
+// trace rendering and operational counters.
 //
 // Usage:
 //
@@ -7,16 +11,21 @@
 //	        [-order paper|rfc] [-med standard|always]
 //	        [-schedule roundrobin|allatonce|random] [-seed N]
 //	        [-max-steps N] [-trace] [-figure 1a|1b|2|3|12|13|14]
-//	        [-msgsim] [-delay N] [-jitter N]
+//	        [-substrate model|sim|tcp] [-delay N] [-jitter N] [-mrai N]
+//	        [-wait D]
 //
-// Either -topology or -figure selects the system. With -msgsim the
-// message-level simulator is used instead of the activation model.
+// Either -topology or -figure selects the system. -substrate=sim runs the
+// message-level simulator (virtual ticks; -delay/-jitter shape per-message
+// delays), -substrate=tcp runs the loopback speakers (milliseconds; -wait
+// bounds the quiescence wait). -msgsim is a deprecated alias for
+// -substrate=sim.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	ibgp "repro"
 	"repro/internal/cli"
@@ -25,19 +34,21 @@ import (
 
 func main() {
 	var (
-		topoPath = flag.String("topology", "", "topology JSON file")
-		figure   = flag.String("figure", "", "paper figure: 1a, 1b, 2, 3, 12, 13, 14")
-		policy   = flag.String("policy", "classic", "classic, walton, modified or adaptive")
-		order    = flag.String("order", "paper", "rule order: paper or rfc")
-		med      = flag.String("med", "standard", "MED mode: standard or always")
-		schedule = flag.String("schedule", "roundrobin", "roundrobin, allatonce or random")
-		seed     = flag.Int64("seed", 1, "seed for -schedule random and -jitter")
-		maxSteps = flag.Int("max-steps", 10000, "activation / event budget")
-		showTr   = flag.Bool("trace", false, "print per-event trace")
-		useMsg   = flag.Bool("msgsim", false, "use the message-level simulator")
-		delay    = flag.Int64("delay", 10, "msgsim: base message delay")
-		jitter   = flag.Int64("jitter", 0, "msgsim: random extra delay bound")
-		mrai     = flag.Int64("mrai", 0, "msgsim: minimum route advertisement interval (0 off)")
+		topoPath  = flag.String("topology", "", "topology JSON file")
+		figure    = flag.String("figure", "", "paper figure: 1a, 1b, 2, 3, 12, 13, 14")
+		policy    = flag.String("policy", "classic", "classic, walton, modified or adaptive")
+		order     = flag.String("order", "paper", "rule order: paper or rfc")
+		med       = flag.String("med", "standard", "MED mode: standard or always")
+		schedule  = flag.String("schedule", "roundrobin", "roundrobin, allatonce or random")
+		seed      = flag.Int64("seed", 1, "seed for -schedule random and -jitter")
+		maxSteps  = flag.Int("max-steps", 10000, "activation / event budget")
+		showTr    = flag.Bool("trace", false, "print per-event trace")
+		substrate = flag.String("substrate", "model", "execution substrate: model, sim or tcp")
+		useMsg    = flag.Bool("msgsim", false, "deprecated alias for -substrate=sim")
+		delay     = flag.Int64("delay", 10, "sim: base message delay")
+		jitter    = flag.Int64("jitter", 0, "sim: random extra delay bound")
+		mrai      = flag.Int64("mrai", 0, "minimum route advertisement interval, sim ticks / tcp ms (0 off)")
+		wait      = flag.Duration("wait", 5*time.Second, "tcp: quiescence wait bound")
 	)
 	flag.Parse()
 
@@ -56,25 +67,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ibgpsim:", err)
 		os.Exit(1)
 	}
-
 	if *useMsg {
-		runMsgsim(sys, pol, opts, *delay, *jitter, *mrai, *seed, *maxSteps, *showTr)
-		return
+		*substrate = "sim"
 	}
 
-	sch, err := cli.ParseSchedule(*schedule, sys.N(), *seed)
+	switch *substrate {
+	case "model":
+		runModel(sys, pol, opts, *schedule, *seed, *maxSteps, *showTr)
+	case "sim":
+		runMsgsim(sys, pol, opts, *delay, *jitter, *mrai, *seed, *maxSteps, *showTr)
+	case "tcp":
+		runTCP(sys, pol, opts, *mrai, *wait, *showTr)
+	default:
+		fmt.Fprintf(os.Stderr, "ibgpsim: unknown substrate %q (model, sim or tcp)\n", *substrate)
+		os.Exit(1)
+	}
+}
+
+func runModel(sys *ibgp.System, pol ibgp.Policy, opts ibgp.Options, schedule string, seed int64, maxSteps int, showTr bool) {
+	sch, err := cli.ParseSchedule(schedule, sys.N(), seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ibgpsim:", err)
 		os.Exit(1)
 	}
-
 	eng := ibgp.NewEngine(sys, pol, opts)
 	rec := trace.NewRecorder(sys, 0)
-	if *showTr {
+	if showTr {
 		eng.Observe(rec.Hook())
 	}
-	res := ibgp.Run(eng, sch, ibgp.RunOptions{MaxSteps: *maxSteps})
-	if *showTr {
+	res := ibgp.Run(eng, sch, ibgp.RunOptions{MaxSteps: maxSteps})
+	if showTr {
 		rec.WriteTo(os.Stdout)
 	}
 	fmt.Println(trace.ResultLine(pol, res))
@@ -90,6 +112,18 @@ func main() {
 	}
 }
 
+// printBest renders the per-router best-path table shared by the two
+// operational substrates.
+func printBest(sys *ibgp.System, best []ibgp.PathID) {
+	for u := 0; u < sys.N(); u++ {
+		b := "-"
+		if best[u] != ibgp.None {
+			b = fmt.Sprintf("p%d", best[u])
+		}
+		fmt.Printf("%-10s best=%s\n", sys.Name(ibgp.NodeID(u)), b)
+	}
+}
+
 func runMsgsim(sys *ibgp.System, pol ibgp.Policy, opts ibgp.Options, delay, jitter, mrai, seed int64, maxEvents int, showTrace bool) {
 	var df ibgp.DelayFunc
 	if jitter > 0 {
@@ -100,20 +134,46 @@ func runMsgsim(sys *ibgp.System, pol ibgp.Policy, opts ibgp.Options, delay, jitt
 	s := ibgp.NewSim(sys, pol, opts, df)
 	s.SetMRAI(mrai)
 	if showTrace {
+		// The sim's line trace is the shared typed-event renderer applied
+		// to the core's event stream.
 		s.Observe(func(line string) { fmt.Println(line) })
 	}
 	s.InjectAll()
 	res := s.Run(maxEvents)
 	fmt.Printf("policy=%-8s quiesced=%-5v events=%-7d messages=%-7d flaps=%-6d t=%d\n",
 		pol, res.Quiesced, res.Events, res.Messages, res.Flaps, res.Time)
-	for u := 0; u < sys.N(); u++ {
-		best := "-"
-		if res.Best[u] != ibgp.None {
-			best = fmt.Sprintf("p%d", res.Best[u])
-		}
-		fmt.Printf("%-10s best=%s\n", sys.Name(ibgp.NodeID(u)), best)
-	}
+	fmt.Println(ibgp.CountersLine(s.Counters()))
+	printBest(sys, res.Best)
 	if !res.Quiesced {
+		os.Exit(2)
+	}
+}
+
+func runTCP(sys *ibgp.System, pol ibgp.Policy, opts ibgp.Options, mrai int64, wait time.Duration, showTrace bool) {
+	n := ibgp.NewTCPNetwork(sys, pol, opts)
+	n.SetMRAI(mrai)
+	if showTrace {
+		render := ibgp.NewRouterEventRenderer(sys, len(n.Prefixes()) > 1)
+		n.Observe(func(ev ibgp.RouterEvent) {
+			if line := render(ev); line != "" {
+				fmt.Println(line)
+			}
+		})
+	}
+	if err := n.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "ibgpsim:", err)
+		os.Exit(1)
+	}
+	defer n.Stop()
+	n.InjectAll()
+	quiesced := n.WaitQuiesce(wait, 150*time.Millisecond)
+	n.Observe(nil) // stop tracing before the final reads
+	c := n.Counters()
+	fmt.Printf("policy=%-8s quiesced=%-5v messages=%-7d flaps=%-6d\n",
+		pol, quiesced, c.Sent, c.Flaps)
+	fmt.Println(ibgp.CountersLine(c))
+	printBest(sys, n.BestAll())
+	if !quiesced {
 		os.Exit(2)
 	}
 }

@@ -41,6 +41,7 @@ import (
 	"repro/internal/forwarding"
 	"repro/internal/msgsim"
 	"repro/internal/protocol"
+	"repro/internal/router"
 	"repro/internal/selection"
 	"repro/internal/speaker"
 	"repro/internal/topology"
@@ -262,6 +263,29 @@ type (
 	SimResult = msgsim.Result
 	// DelayFunc assigns per-message transit delays.
 	DelayFunc = msgsim.DelayFunc
+)
+
+// Shared operational router core (package router), driven by both the
+// message-level simulator and the TCP speakers.
+type (
+	// RouterEvent is one typed operational event (BestChanged, UpdateSent,
+	// UpdateReceived, MRAIDeferred, Injected, Withdrawn).
+	RouterEvent = router.Event
+	// RouterEventKind classifies a RouterEvent.
+	RouterEventKind = router.EventKind
+	// OperationalCounters is a point-in-time snapshot of the shared
+	// substrate counters (flaps, messages, deferrals, drops, rejects).
+	OperationalCounters = router.Snapshot
+)
+
+// Typed operational event kinds.
+const (
+	BestChanged    = router.BestChanged
+	UpdateSent     = router.UpdateSent
+	UpdateReceived = router.UpdateReceived
+	MRAIDeferred   = router.MRAIDeferred
+	Injected       = router.Injected
+	Withdrawn      = router.Withdrawn
 )
 
 // NewSim creates a message-level simulator; inject routes with InjectAll

@@ -35,11 +35,15 @@ type SeedResult struct {
 	FixedPoints int  `json:"fixed_points,omitempty"`
 	Truncated   bool `json:"truncated,omitempty"`
 
-	// Message-level fuzz fields.
+	// Message-level fuzz fields. Messages, Flaps and Deferrals come from
+	// the router core's shared operational counters, identical in meaning
+	// on the TCP substrate.
 	Schedules        int `json:"schedules,omitempty"`
 	Quiesced         int `json:"quiesced,omitempty"`
 	DistinctOutcomes int `json:"distinct_outcomes,omitempty"`
 	Messages         int `json:"messages,omitempty"`
+	Flaps            int `json:"flaps,omitempty"`
+	Deferrals        int `json:"deferrals,omitempty"`
 }
 
 // maxExamples bounds the counterexample seed lists carried in an
@@ -97,6 +101,8 @@ type Aggregate struct {
 	Quiesced        int `json:"quiesced,omitempty"`
 	TimingDependent int `json:"timing_dependent,omitempty"`
 	Messages        int `json:"messages,omitempty"`
+	Flaps           int `json:"flaps,omitempty"`
+	Deferrals       int `json:"deferrals,omitempty"`
 }
 
 // newAggregate seeds the header fields; fold fills the rest.
@@ -161,6 +167,8 @@ func (a *Aggregate) fold(r SeedResult, hist map[int]int) {
 		a.TimingDependent++
 	}
 	a.Messages += r.Messages
+	a.Flaps += r.Flaps
+	a.Deferrals += r.Deferrals
 }
 
 // finish materialises the histogram buckets in ascending size order.
@@ -202,8 +210,8 @@ func (a *Aggregate) String() string {
 		fmt.Fprintf(&b, "  states explored: %d (max %d per seed)  reachable fixed points: %d\n",
 			a.TotalStates, a.MaxStates, a.FixedPoints)
 		if a.Schedules > 0 {
-			fmt.Fprintf(&b, "  fuzz: %d/%d schedules quiesced, %d timing-dependent seeds, %d messages\n",
-				a.Quiesced, a.Schedules, a.TimingDependent, a.Messages)
+			fmt.Fprintf(&b, "  fuzz: %d/%d schedules quiesced, %d timing-dependent seeds, %d messages, %d flaps, %d deferrals\n",
+				a.Quiesced, a.Schedules, a.TimingDependent, a.Messages, a.Flaps, a.Deferrals)
 		}
 	}
 	return b.String()

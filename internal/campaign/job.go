@@ -225,12 +225,16 @@ type FuzzJob struct {
 	MaxEvents int
 	// MaxDelay bounds the random per-message delays (default 100).
 	MaxDelay int64
+	// MRAI is the per-session minimum route advertisement interval in
+	// virtual ticks (0 disables pacing, the default).
+	MRAI int64
 }
 
 func (j FuzzJob) Name() string { return "fuzz" }
 
 func (j FuzzJob) Describe() string {
-	return fmt.Sprintf("%+v policy=%v schedules=%d maxEvents=%d", j.Params, j.Policy, j.Schedules, j.MaxEvents)
+	return fmt.Sprintf("%+v policy=%v schedules=%d maxEvents=%d mrai=%d",
+		j.Params, j.Policy, j.Schedules, j.MaxEvents, j.MRAI)
 }
 
 func (j FuzzJob) fill() FuzzJob {
@@ -264,10 +268,14 @@ func (j FuzzJob) Run(ctx context.Context, seed int64, m *Meter) SeedResult {
 		// record is a function of the seed alone.
 		delay := msgsim.RandomDelay(seed*int64(j.Schedules)+int64(i), 1, j.MaxDelay)
 		sim := msgsim.New(sys, j.Policy, selection.Options{}, delay)
+		sim.SetMRAI(j.MRAI)
 		sim.InjectAll()
 		r := sim.Run(j.MaxEvents)
+		c := sim.Counters()
 		res.Schedules++
 		res.Messages += r.Messages
+		res.Flaps += int(c.Flaps)
+		res.Deferrals += int(c.Deferrals)
 		m.Steps.Add(int64(r.Events))
 		if r.Quiesced {
 			res.Quiesced++

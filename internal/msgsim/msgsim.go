@@ -1,10 +1,13 @@
 // Package msgsim is a message-level discrete-event simulator of I-BGP with
 // route reflection. Unlike package protocol — which implements the paper's
-// abstract activation model — msgsim models the operational protocol:
-// routers keep per-peer Adj-RIB-In state (package rib), exchange explicit
-// announce and withdraw messages over per-session FIFO channels, and apply
-// the route-reflection announcement rules of Section 2 based on *how each
-// route was learned* (E-BGP peer, client peer, or non-client peer).
+// abstract activation model — msgsim models the operational protocol. The
+// per-router behaviour (Adj-RIB-In state, reflection rules, refresh,
+// per-peer diff/coalesce, MRAI pacing) lives in the shared core of package
+// router; this package is only the transport: an event heap with pluggable
+// per-message delays, per-session FIFO order, and a virtual clock. Every
+// UPDATE is carried as genuine wire bytes — encoded with wire.Encode at
+// the sender and decoded with wire.Decode at the receiver — so each
+// simulated hop also exercises the codec the TCP speakers use.
 //
 // Message delays are pluggable and may be scripted, which reproduces the
 // Figure 3 / Table 1 executions where timing alone decides whether the
@@ -15,14 +18,14 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
-	"sort"
-	"strings"
 
 	"repro/internal/bgp"
 	"repro/internal/protocol"
-	"repro/internal/rib"
+	"repro/internal/router"
 	"repro/internal/selection"
 	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 // DelayFunc returns the transit delay of the seq-th message sent on the
@@ -51,41 +54,12 @@ type event struct {
 	time int64
 	seq  int // global tie-break for determinism
 	kind eventKind
-	// message fields: parallel announce/withdraw lists with their prefixes
+	// message fields: one wire-encoded UPDATE in flight on from -> to.
 	from, to bgp.NodeID
-	announce []prefixed
-	withdraw []prefixed
+	payload  []byte
 	// external fields
 	prefix uint32
 	path   bgp.PathID
-}
-
-// prefixed tags a path with its destination prefix.
-type prefixed struct {
-	prefix uint32
-	id     bgp.PathID
-}
-
-// renderPath formats a PathID for traces.
-func renderPath(id bgp.PathID) string {
-	if id == bgp.None {
-		return "(none)"
-	}
-	return fmt.Sprintf("p%d", id)
-}
-
-// renderPrefixed formats a prefixed path list for traces; the prefix tag
-// is shown only in multi-prefix simulations.
-func renderPrefixed(ps []prefixed, multi bool) string {
-	parts := make([]string, len(ps))
-	for i, pr := range ps {
-		if multi {
-			parts[i] = fmt.Sprintf("%d/p%d", pr.prefix, pr.id)
-		} else {
-			parts[i] = fmt.Sprintf("p%d", pr.id)
-		}
-	}
-	return "[" + strings.Join(parts, " ") + "]"
 }
 
 type eventKind int
@@ -122,30 +96,21 @@ func (h *eventHeap) Pop() any {
 // TCP speakers, a Sim can carry several destination prefixes over one
 // session graph; the single-prefix constructors use prefix 0.
 type Sim struct {
-	sys      *topology.System
-	systems  map[uint32]*topology.System
-	prefixes []uint32
+	dom      *router.Domain
+	routers  []*router.Router
+	counters router.Counters
 	delay    DelayFunc
 
-	ribs  []map[uint32]*rib.RIB // per node, per prefix
 	queue eventHeap
 	seq   int
 
 	sentSeq map[[2]bgp.NodeID]int   // per-session sent counter
 	lastArr map[[2]bgp.NodeID]int64 // per-session last delivery time (FIFO clamp)
 
-	// MRAI state: minimum interval between UPDATEs on one session; 0
-	// disables. nextSend is the earliest next send time per session;
-	// flushing marks sessions with a scheduled reopen event.
-	mrai     int64
-	nextSend map[[2]bgp.NodeID]int64
-	flushing map[[2]bgp.NodeID]bool
-
 	now      int64
 	events   int
-	msgs     int
-	flaps    int
 	observer func(string)
+	render   func(router.Event) string
 }
 
 // New creates a simulator over sys with the given advertisement policy,
@@ -160,37 +125,38 @@ func New(sys *topology.System, policy protocol.Policy, opts selection.Options, d
 // exit paths (as with speaker.NewMulti). The first (lowest) prefix's
 // system provides the session graph.
 func NewMulti(systems map[uint32]*topology.System, policy protocol.Policy, opts selection.Options, delay DelayFunc) *Sim {
-	var prefixes []uint32
-	for p := range systems {
-		prefixes = append(prefixes, p)
+	dom, err := router.NewDomain(systems, policy, opts)
+	if err != nil {
+		panic("msgsim: " + err.Error())
 	}
-	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
-	if len(prefixes) == 0 {
-		panic("msgsim: no prefixes")
-	}
-	base := systems[prefixes[0]]
 	s := &Sim{
-		sys:      base,
-		systems:  systems,
-		prefixes: prefixes,
-		delay:    delay,
-		sentSeq:  map[[2]bgp.NodeID]int{},
-		lastArr:  map[[2]bgp.NodeID]int64{},
-		nextSend: map[[2]bgp.NodeID]int64{},
-		flushing: map[[2]bgp.NodeID]bool{},
+		dom:     dom,
+		delay:   delay,
+		sentSeq: map[[2]bgp.NodeID]int{},
+		lastArr: map[[2]bgp.NodeID]int64{},
 	}
-	for u := 0; u < base.N(); u++ {
-		m := map[uint32]*rib.RIB{}
-		for _, p := range prefixes {
-			m[p] = rib.New(systems[p], policy, opts, bgp.NodeID(u))
-		}
-		s.ribs = append(s.ribs, m)
+	s.render = trace.NewRouterEventRenderer(dom.Base(), dom.Multi())
+	for u := 0; u < dom.Base().N(); u++ {
+		rt := dom.NewRouter(bgp.NodeID(u), &s.counters)
+		rt.Events(s.routerEvent)
+		s.routers = append(s.routers, rt)
 	}
 	return s
 }
 
-// Observe registers a line-oriented trace callback.
+// Observe registers a line-oriented trace callback; the lines are the
+// rendered form of the core's typed event stream.
 func (s *Sim) Observe(fn func(string)) { s.observer = fn }
+
+// routerEvent bridges core events into the legacy line trace.
+func (s *Sim) routerEvent(ev router.Event) {
+	if s.observer == nil {
+		return
+	}
+	if line := s.render(ev); line != "" {
+		s.observer(line)
+	}
+}
 
 // SetMRAI sets the per-session minimum route advertisement interval, the
 // BGP mechanism that coalesces rapid update bursts (0 disables it, the
@@ -198,15 +164,8 @@ func (s *Sim) Observe(fn func(string)) { s.observer = fn }
 // with its own correction — but cannot create stability where no stable
 // solution exists.
 func (s *Sim) SetMRAI(d int64) {
-	if d < 0 {
-		d = 0
-	}
-	s.mrai = d
-}
-
-func (s *Sim) tracef(format string, args ...any) {
-	if s.observer != nil {
-		s.observer(fmt.Sprintf("t=%-6d %s", s.now, fmt.Sprintf(format, args...)))
+	for _, rt := range s.routers {
+		rt.SetMRAI(d)
 	}
 }
 
@@ -228,8 +187,8 @@ func (s *Sim) WithdrawPrefixAt(time int64, prefix uint32, id bgp.PathID) {
 
 // InjectAll schedules every exit path of every prefix at time 0.
 func (s *Sim) InjectAll() {
-	for _, prefix := range s.prefixes {
-		for _, p := range s.systems[prefix].Exits() {
+	for _, prefix := range s.dom.Prefixes() {
+		for _, p := range s.dom.System(prefix).Exits() {
 			s.InjectPrefixAt(0, prefix, p.ID)
 		}
 	}
@@ -241,93 +200,40 @@ func (s *Sim) push(e *event) {
 	heap.Push(&s.queue, e)
 }
 
-// refresh recomputes a router's best routes on every prefix and sends its
-// owed UPDATEs, subject to per-session MRAI gating.
+// sendFrom builds the transport callback for router u: encode the UPDATE
+// to wire bytes, pick the delay, clamp to FIFO order and enqueue delivery.
+func (s *Sim) sendFrom(u bgp.NodeID) router.SendFunc {
+	return func(w bgp.NodeID, upd *wire.Update) (int64, error) {
+		data, err := wire.Encode(*upd)
+		if err != nil {
+			// The core only produces well-formed updates; an encode
+			// failure is a codec bug and must not be silently dropped.
+			panic(fmt.Sprintf("msgsim: encode %s -> %s: %v",
+				s.dom.Base().Name(u), s.dom.Base().Name(w), err))
+		}
+		key := [2]bgp.NodeID{u, w}
+		n := s.sentSeq[key]
+		s.sentSeq[key] = n + 1
+		d := s.delay(u, w, n)
+		if d < 0 {
+			d = 0
+		}
+		at := s.now + d
+		if last := s.lastArr[key]; at < last {
+			at = last // FIFO: never overtake an earlier message
+		}
+		s.lastArr[key] = at
+		s.push(&event{time: at, kind: evMessage, from: u, to: w, payload: data})
+		return at, nil
+	}
+}
+
+// refresh runs the core refresh for one router and schedules any MRAI
+// reopen callbacks it asks for.
 func (s *Sim) refresh(u bgp.NodeID) {
-	for _, prefix := range s.prefixes {
-		r := s.ribs[u][prefix]
-		oldBest := r.Best()
-		if r.RecomputeBest() {
-			s.flaps++
-			if s.observer != nil {
-				tag := ""
-				if len(s.prefixes) > 1 {
-					tag = fmt.Sprintf("[%d]", prefix)
-				}
-				s.tracef("%s best%s: %s -> %s", s.sys.Name(u), tag,
-					renderPath(oldBest), renderPath(r.Best()))
-			}
-		}
+	for _, d := range s.routers[u].Refresh(s.now, s.sendFrom(u)) {
+		s.push(&event{time: d.ReadyAt, kind: evFlush, from: u, to: d.To})
 	}
-	for _, w := range s.sys.Peers(u) {
-		s.flushPeer(u, w)
-	}
-}
-
-// flushPeer sends the UPDATE owed to one peer — coalescing every prefix —
-// if the session's MRAI window is open; otherwise it schedules a flush for
-// when the window reopens.
-func (s *Sim) flushPeer(u, w bgp.NodeID) {
-	owed := false
-	for _, prefix := range s.prefixes {
-		r := s.ribs[u][prefix]
-		if !r.TargetFor(w).Equal(r.LastSent(w)) {
-			owed = true
-			break
-		}
-	}
-	if !owed {
-		return
-	}
-	key := [2]bgp.NodeID{u, w}
-	if s.mrai > 0 && s.now < s.nextSend[key] {
-		if !s.flushing[key] {
-			s.flushing[key] = true
-			s.push(&event{time: s.nextSend[key], kind: evFlush, from: u, to: w})
-			s.tracef("%s -> %s update deferred by MRAI until t=%d",
-				s.sys.Name(u), s.sys.Name(w), s.nextSend[key])
-		}
-		return
-	}
-	var ann, wd []prefixed
-	for _, prefix := range s.prefixes {
-		r := s.ribs[u][prefix]
-		a, d := r.CommitSend(w, r.TargetFor(w))
-		for _, id := range a {
-			ann = append(ann, prefixed{prefix, id})
-		}
-		for _, id := range d {
-			wd = append(wd, prefixed{prefix, id})
-		}
-	}
-	if len(ann) == 0 && len(wd) == 0 {
-		return
-	}
-	s.nextSend[key] = s.now + s.mrai
-	s.send(u, w, ann, wd)
-}
-
-// send enqueues one UPDATE on the session from -> to, respecting FIFO order.
-func (s *Sim) send(from, to bgp.NodeID, announce, withdraw []prefixed) {
-	key := [2]bgp.NodeID{from, to}
-	n := s.sentSeq[key]
-	s.sentSeq[key] = n + 1
-	d := s.delay(from, to, n)
-	if d < 0 {
-		d = 0
-	}
-	at := s.now + d
-	if last := s.lastArr[key]; at < last {
-		at = last // FIFO: never overtake an earlier message
-	}
-	s.lastArr[key] = at
-	s.msgs++
-	if s.observer != nil {
-		s.tracef("%s -> %s announce=%s withdraw=%s (arrives t=%d)",
-			s.sys.Name(from), s.sys.Name(to), renderPrefixed(announce, len(s.prefixes) > 1),
-			renderPrefixed(withdraw, len(s.prefixes) > 1), at)
-	}
-	s.push(&event{time: at, kind: evMessage, from: from, to: to, announce: announce, withdraw: withdraw})
 }
 
 // Result reports one simulation run.
@@ -355,7 +261,7 @@ func (s *Sim) target(ev *event) bgp.NodeID {
 	case evFlush:
 		return ev.from
 	default:
-		return s.systems[ev.prefix].Exit(ev.path).ExitPoint
+		return s.dom.System(ev.prefix).Exit(ev.path).ExitPoint
 	}
 }
 
@@ -363,29 +269,26 @@ func (s *Sim) target(ev *event) bgp.NodeID {
 func (s *Sim) apply(ev *event) {
 	switch ev.kind {
 	case evInject:
-		p := s.systems[ev.prefix].Exit(ev.path)
-		s.tracef("%s learns p%d via E-BGP", s.sys.Name(p.ExitPoint), ev.path)
-		s.ribs[p.ExitPoint][ev.prefix].Inject(ev.path)
+		p := s.dom.System(ev.prefix).Exit(ev.path)
+		s.routers[p.ExitPoint].Inject(s.now, ev.prefix, ev.path)
 	case evWithdraw:
-		p := s.systems[ev.prefix].Exit(ev.path)
-		s.tracef("%s loses p%d via E-BGP", s.sys.Name(p.ExitPoint), ev.path)
-		s.ribs[p.ExitPoint][ev.prefix].WithdrawExternal(ev.path)
+		p := s.dom.System(ev.prefix).Exit(ev.path)
+		s.routers[p.ExitPoint].WithdrawExternal(s.now, ev.prefix, ev.path)
 	case evMessage:
-		ann := map[uint32][]bgp.PathID{}
-		wd := map[uint32][]bgp.PathID{}
-		for _, pr := range ev.announce {
-			ann[pr.prefix] = append(ann[pr.prefix], pr.id)
+		msg, _, err := wire.Decode(ev.payload)
+		if err != nil {
+			panic(fmt.Sprintf("msgsim: decode on %s -> %s: %v",
+				s.dom.Base().Name(ev.from), s.dom.Base().Name(ev.to), err))
 		}
-		for _, pr := range ev.withdraw {
-			wd[pr.prefix] = append(wd[pr.prefix], pr.id)
+		upd, ok := msg.(wire.Update)
+		if !ok {
+			panic(fmt.Sprintf("msgsim: non-UPDATE message %T in flight", msg))
 		}
-		for _, prefix := range s.prefixes {
-			if len(ann[prefix]) > 0 || len(wd[prefix]) > 0 {
-				s.ribs[ev.to][prefix].ApplyUpdate(ev.from, ann[prefix], wd[prefix])
-			}
+		if err := s.routers[ev.to].ApplyUpdate(s.now, ev.from, &upd); err != nil {
+			panic(fmt.Sprintf("msgsim: apply at %s: %v", s.dom.Base().Name(ev.to), err))
 		}
 	case evFlush:
-		s.flushing[[2]bgp.NodeID{ev.from, ev.to}] = false
+		s.routers[ev.from].Reopen(ev.to)
 	}
 }
 
@@ -419,38 +322,36 @@ func (s *Sim) Run(maxEvents int) Result {
 	res := Result{
 		Quiesced: len(s.queue) == 0,
 		Events:   s.events,
-		Messages: s.msgs,
-		Flaps:    s.flaps,
+		Messages: int(s.counters.Sent.Load()),
+		Flaps:    int(s.counters.Flaps.Load()),
 		Time:     s.now,
-		Best:     make([]bgp.PathID, len(s.ribs)),
+		Best:     make([]bgp.PathID, len(s.routers)),
 	}
-	for i := range s.ribs {
-		res.Best[i] = s.ribs[i][s.prefixes[0]].Best()
+	first := s.dom.Prefixes()[0]
+	for i := range s.routers {
+		res.Best[i] = s.routers[i].Best(first)
 	}
 	return res
 }
 
+// Counters returns the shared operational counters at this instant.
+func (s *Sim) Counters() router.Snapshot { return s.counters.Snapshot() }
+
 // Best returns router u's current best path for the first prefix.
-func (s *Sim) Best(u bgp.NodeID) bgp.PathID { return s.ribs[u][s.prefixes[0]].Best() }
+func (s *Sim) Best(u bgp.NodeID) bgp.PathID { return s.routers[u].Best(s.dom.Prefixes()[0]) }
 
 // BestFor returns router u's current best path for one prefix.
 func (s *Sim) BestFor(prefix uint32, u bgp.NodeID) bgp.PathID {
-	if r, ok := s.ribs[u][prefix]; ok {
-		return r.Best()
-	}
-	return bgp.None
+	return s.routers[u].Best(prefix)
 }
 
 // Possible returns router u's candidate set for the first prefix.
-func (s *Sim) Possible(u bgp.NodeID) bgp.PathSet { return s.ribs[u][s.prefixes[0]].Possible() }
+func (s *Sim) Possible(u bgp.NodeID) bgp.PathSet { return s.routers[u].Possible(s.dom.Prefixes()[0]) }
 
 // Upgraded reports whether router u switched to survivor advertisement for
 // one prefix under the Adaptive policy.
 func (s *Sim) Upgraded(prefix uint32, u bgp.NodeID) bool {
-	if r, ok := s.ribs[u][prefix]; ok {
-		return r.Upgraded()
-	}
-	return false
+	return s.routers[u].Upgraded(prefix)
 }
 
 // Now returns the virtual clock.

@@ -1,0 +1,119 @@
+package router
+
+import (
+	"sync/atomic"
+
+	"repro/internal/bgp"
+	"repro/internal/wire"
+)
+
+// EventKind classifies a typed operational event.
+type EventKind uint8
+
+const (
+	// BestChanged fires when a refresh moves a router's best route for one
+	// prefix (a "flap").
+	BestChanged EventKind = iota
+	// UpdateSent fires after the transport accepted one coalesced UPDATE.
+	UpdateSent
+	// UpdateReceived fires after an inbound UPDATE was applied.
+	UpdateReceived
+	// MRAIDeferred fires when an owed UPDATE is held back by a closed MRAI
+	// window; ReadyAt carries the reopen time.
+	MRAIDeferred
+	// Injected fires on an E-BGP route injection at this router.
+	Injected
+	// Withdrawn fires on an E-BGP route withdrawal at this router.
+	Withdrawn
+)
+
+// String names the kind for logs and renderers.
+func (k EventKind) String() string {
+	switch k {
+	case BestChanged:
+		return "BestChanged"
+	case UpdateSent:
+		return "UpdateSent"
+	case UpdateReceived:
+		return "UpdateReceived"
+	case MRAIDeferred:
+		return "MRAIDeferred"
+	case Injected:
+		return "Injected"
+	case Withdrawn:
+		return "Withdrawn"
+	default:
+		return "Unknown"
+	}
+}
+
+// Event is one typed occurrence in a router core's life, replacing the old
+// ad-hoc observer strings. Only the fields relevant to Kind are set. The
+// Update pointer references the live message; sinks that retain events
+// beyond the callback must copy it.
+type Event struct {
+	Kind EventKind
+	// Time is the substrate clock when the event fired: virtual ticks in
+	// the discrete-event simulator, milliseconds since start on TCP.
+	Time int64
+	// Node is the router the event happened at.
+	Node bgp.NodeID
+	// Peer is the session peer (UpdateSent, UpdateReceived, MRAIDeferred).
+	Peer bgp.NodeID
+	// Prefix tags BestChanged, Injected and Withdrawn events.
+	Prefix uint32
+	// Path is the injected or withdrawn E-BGP path.
+	Path bgp.PathID
+	// OldBest and NewBest frame a BestChanged event.
+	OldBest, NewBest bgp.PathID
+	// Update is the wire message of UpdateSent / UpdateReceived.
+	Update *wire.Update
+	// ReadyAt is when the MRAI window reopens (MRAIDeferred).
+	ReadyAt int64
+	// ArriveAt is the transport-reported delivery time of an UpdateSent
+	// event; negative when the transport cannot know it (TCP).
+	ArriveAt int64
+}
+
+// Counters aggregates the operational meters of one substrate. A single
+// Counters value is shared by every router of a network or simulation, so
+// both substrates surface identical totals. Fields are atomic because the
+// TCP substrate updates them from many speaker goroutines and quiescence
+// probes read them concurrently.
+type Counters struct {
+	// Flaps counts best-route changes across all routers and prefixes.
+	Flaps atomic.Int64
+	// Sent counts UPDATEs delivered to the transport; a message whose send
+	// fails is moved from Sent to Dropped.
+	Sent atomic.Int64
+	// Received counts UPDATEs fully applied.
+	Received atomic.Int64
+	// Deferrals counts MRAI-gated send postponements.
+	Deferrals atomic.Int64
+	// Dropped counts UPDATEs a transport failed to deliver (dead session).
+	Dropped atomic.Int64
+	// Rejected counts inbound UPDATEs failing decode-side validation.
+	Rejected atomic.Int64
+}
+
+// Snapshot is a plain-value copy of Counters at one instant.
+type Snapshot struct {
+	Flaps     int64
+	Sent      int64
+	Received  int64
+	Deferrals int64
+	Dropped   int64
+	Rejected  int64
+}
+
+// Snapshot reads every counter once.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		Flaps:     c.Flaps.Load(),
+		Sent:      c.Sent.Load(),
+		Received:  c.Received.Load(),
+		Deferrals: c.Deferrals.Load(),
+		Dropped:   c.Dropped.Load(),
+		Rejected:  c.Rejected.Load(),
+	}
+}

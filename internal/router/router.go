@@ -1,0 +1,342 @@
+// Package router is the transport-agnostic operational core of an I-BGP
+// speaker: one Router per node owning the per-prefix RIBs (package rib),
+// E-BGP inject/withdraw, update application, best-path refresh, per-peer
+// diff/coalesce into wire.Update messages (one message per peer covering
+// every prefix), and MRAI pacing. The core decides *what* to send and
+// *when* a send must wait; the transport — the discrete-event simulator
+// (package msgsim) or the TCP speakers (package speaker) — supplies the
+// clock, moves the bytes, and schedules the MRAI reopen callbacks the core
+// asks for. Both substrates therefore execute exactly the same Section 2
+// reflection/refresh/coalesce logic, which is what makes the paper's
+// "for every message ordering" quantification meaningful across them.
+//
+// Routers are single-owner: each is mutated from one goroutine at a time
+// (msgsim is single-threaded, each speaker owns its core under its own
+// lock). The shared Counters are atomic so a running network can be
+// observed concurrently.
+package router
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bgp"
+	"repro/internal/protocol"
+	"repro/internal/rib"
+	"repro/internal/selection"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Domain is the shared multi-prefix description a substrate runs over:
+// one topology.System per destination prefix, all sharing the identical
+// session graph (router names, sessions and link costs) and differing only
+// in their exit paths. Single-prefix deployments use prefix 0.
+type Domain struct {
+	base     *topology.System
+	systems  map[uint32]*topology.System
+	prefixes []uint32 // sorted
+	policy   protocol.Policy
+	opts     selection.Options
+}
+
+// NewDomain validates the per-prefix systems and fixes the prefix order.
+func NewDomain(systems map[uint32]*topology.System, policy protocol.Policy, opts selection.Options) (*Domain, error) {
+	if len(systems) == 0 {
+		return nil, errors.New("router: no prefixes")
+	}
+	prefixes := make([]uint32, 0, len(systems))
+	for p := range systems {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
+	base := systems[prefixes[0]]
+	for _, p := range prefixes[1:] {
+		if err := sameTopology(base, systems[p]); err != nil {
+			return nil, fmt.Errorf("router: prefix %d: %w", p, err)
+		}
+	}
+	return &Domain{base: base, systems: systems, prefixes: prefixes, policy: policy, opts: opts}, nil
+}
+
+// Single wraps one system as a prefix-0 domain; a lone system is always
+// consistent, so construction cannot fail.
+func Single(sys *topology.System, policy protocol.Policy, opts selection.Options) *Domain {
+	d, err := NewDomain(map[uint32]*topology.System{0: sys}, policy, opts)
+	if err != nil {
+		panic("router: " + err.Error())
+	}
+	return d
+}
+
+// sameTopology checks that two systems differ only in their exit paths.
+func sameTopology(a, b *topology.System) error {
+	if a.N() != b.N() {
+		return fmt.Errorf("router counts differ (%d vs %d)", a.N(), b.N())
+	}
+	for u := 0; u < a.N(); u++ {
+		uid := bgp.NodeID(u)
+		if a.Name(uid) != b.Name(uid) {
+			return fmt.Errorf("router %d named %q vs %q", u, a.Name(uid), b.Name(uid))
+		}
+		if a.BGPID(uid) != b.BGPID(uid) {
+			return fmt.Errorf("router %q BGP ids differ", a.Name(uid))
+		}
+		for v := 0; v < a.N(); v++ {
+			vid := bgp.NodeID(v)
+			if a.HasSession(uid, vid) != b.HasSession(uid, vid) {
+				return fmt.Errorf("session %q-%q differs", a.Name(uid), a.Name(vid))
+			}
+			if a.Phys().EdgeCost(uid, vid) != b.Phys().EdgeCost(uid, vid) {
+				return fmt.Errorf("link cost %q-%q differs", a.Name(uid), a.Name(vid))
+			}
+		}
+	}
+	return nil
+}
+
+// Base returns the session-graph system (the lowest prefix's).
+func (d *Domain) Base() *topology.System { return d.base }
+
+// Prefixes returns the carried prefixes, sorted ascending.
+func (d *Domain) Prefixes() []uint32 { return append([]uint32(nil), d.prefixes...) }
+
+// System returns the system for one prefix, or nil if not carried.
+func (d *Domain) System(prefix uint32) *topology.System { return d.systems[prefix] }
+
+// Multi reports whether the domain carries more than one prefix.
+func (d *Domain) Multi() bool { return len(d.prefixes) > 1 }
+
+// SendFunc transmits one coalesced UPDATE to a peer. It returns the
+// transport's arrival time for the message (simulated-clock substrates) or
+// a negative value when arrival is unknown (TCP), and an error when the
+// session is unusable — the core then counts the message as dropped and
+// moves on to the next peer.
+type SendFunc func(to bgp.NodeID, upd *wire.Update) (arriveAt int64, err error)
+
+// Deferral asks the transport to call Reopen(To) followed by Refresh once
+// its clock reaches ReadyAt: the MRAI window on the session to To is
+// closed and the core owes that peer an UPDATE.
+type Deferral struct {
+	To      bgp.NodeID
+	ReadyAt int64
+}
+
+// Router is the operational core of one I-BGP speaker.
+type Router struct {
+	dom  *Domain
+	id   bgp.NodeID
+	ribs map[uint32]*rib.RIB
+
+	// MRAI state, in transport clock units: earliest next send per peer,
+	// and the peers with a reopen callback already requested.
+	mrai     int64
+	nextSend map[bgp.NodeID]int64
+	pending  map[bgp.NodeID]bool
+
+	counters *Counters
+	sink     func(Event)
+}
+
+// NewRouter builds the core for node id, accumulating into counters
+// (shared across the substrate's routers; must be non-nil).
+func (d *Domain) NewRouter(id bgp.NodeID, counters *Counters) *Router {
+	r := &Router{
+		dom:      d,
+		id:       id,
+		ribs:     map[uint32]*rib.RIB{},
+		nextSend: map[bgp.NodeID]int64{},
+		pending:  map[bgp.NodeID]bool{},
+		counters: counters,
+	}
+	for _, p := range d.prefixes {
+		r.ribs[p] = rib.New(d.systems[p], d.policy, d.opts, id)
+	}
+	return r
+}
+
+// ID returns the node this core belongs to.
+func (r *Router) ID() bgp.NodeID { return r.id }
+
+// Events registers the typed event sink (nil disables).
+func (r *Router) Events(fn func(Event)) { r.sink = fn }
+
+func (r *Router) emit(ev Event) {
+	if r.sink != nil {
+		r.sink(ev)
+	}
+}
+
+// SetMRAI sets the per-session minimum route advertisement interval in
+// transport clock units (0 disables, negative clamps to 0). MRAI damps
+// update bursts — it merges an announcement with its own correction — but
+// cannot create stability where no stable solution exists.
+func (r *Router) SetMRAI(d int64) {
+	if d < 0 {
+		d = 0
+	}
+	r.mrai = d
+}
+
+// MRAI returns the configured interval.
+func (r *Router) MRAI() int64 { return r.mrai }
+
+// Inject records an E-BGP injection of one prefix's path at this router.
+func (r *Router) Inject(now int64, prefix uint32, id bgp.PathID) {
+	rb, ok := r.ribs[prefix]
+	if !ok {
+		return
+	}
+	r.emit(Event{Kind: Injected, Time: now, Node: r.id, Prefix: prefix, Path: id})
+	rb.Inject(id)
+}
+
+// WithdrawExternal records an E-BGP withdrawal of one prefix's path.
+func (r *Router) WithdrawExternal(now int64, prefix uint32, id bgp.PathID) {
+	rb, ok := r.ribs[prefix]
+	if !ok {
+		return
+	}
+	r.emit(Event{Kind: Withdrawn, Time: now, Node: r.id, Prefix: prefix, Path: id})
+	rb.WithdrawExternal(id)
+}
+
+// ApplyUpdate merges one received UPDATE into the per-prefix RIBs after
+// decode-side validation against the domain's topologies. Invalid updates
+// are rejected whole: counted, reported, and not applied.
+func (r *Router) ApplyUpdate(now int64, from bgp.NodeID, upd *wire.Update) error {
+	if err := upd.Validate(r.bounds); err != nil {
+		r.counters.Rejected.Add(1)
+		return err
+	}
+	ann := map[uint32][]bgp.PathID{}
+	wd := map[uint32][]bgp.PathID{}
+	for _, rec := range upd.Announced {
+		ann[rec.Prefix] = append(ann[rec.Prefix], bgp.PathID(rec.PathID))
+	}
+	for _, w := range upd.Withdrawn {
+		wd[w.Prefix] = append(wd[w.Prefix], bgp.PathID(w.PathID))
+	}
+	for _, prefix := range r.dom.prefixes {
+		if len(ann[prefix]) > 0 || len(wd[prefix]) > 0 {
+			r.ribs[prefix].ApplyUpdate(from, ann[prefix], wd[prefix])
+		}
+	}
+	r.counters.Received.Add(1)
+	r.emit(Event{Kind: UpdateReceived, Time: now, Node: r.id, Peer: from, Update: upd})
+	return nil
+}
+
+// bounds adapts the domain's per-prefix systems for wire validation.
+func (r *Router) bounds(prefix uint32) wire.System {
+	if sys, ok := r.dom.systems[prefix]; ok {
+		return sys
+	}
+	return nil
+}
+
+// Refresh re-runs the decision process on every prefix and pushes the owed
+// UPDATEs — one coalesced wire message per peer — through send, subject to
+// per-session MRAI gating. It returns the newly created deferrals the
+// transport must schedule.
+func (r *Router) Refresh(now int64, send SendFunc) []Deferral {
+	for _, prefix := range r.dom.prefixes {
+		rb := r.ribs[prefix]
+		old := rb.Best()
+		if rb.RecomputeBest() {
+			r.counters.Flaps.Add(1)
+			r.emit(Event{Kind: BestChanged, Time: now, Node: r.id, Prefix: prefix,
+				OldBest: old, NewBest: rb.Best()})
+		}
+	}
+	var defs []Deferral
+	for _, w := range r.dom.base.Peers(r.id) {
+		defs = r.flushPeer(now, w, send, defs)
+	}
+	return defs
+}
+
+// Reopen marks peer w's scheduled MRAI flush as delivered; the transport
+// calls it when a Deferral fires, immediately before Refresh.
+func (r *Router) Reopen(w bgp.NodeID) { r.pending[w] = false }
+
+// flushPeer sends the UPDATE owed to one peer if the session's MRAI window
+// is open; otherwise it records (once) that the transport must call back
+// when the window reopens. A failed send is counted as dropped and does
+// not stop the fan-out to later peers.
+func (r *Router) flushPeer(now int64, w bgp.NodeID, send SendFunc, defs []Deferral) []Deferral {
+	owed := false
+	for _, prefix := range r.dom.prefixes {
+		rb := r.ribs[prefix]
+		if !rb.TargetFor(w).Equal(rb.LastSent(w)) {
+			owed = true
+			break
+		}
+	}
+	if !owed {
+		return defs
+	}
+	if r.mrai > 0 && now < r.nextSend[w] {
+		if !r.pending[w] {
+			r.pending[w] = true
+			r.counters.Deferrals.Add(1)
+			r.emit(Event{Kind: MRAIDeferred, Time: now, Node: r.id, Peer: w, ReadyAt: r.nextSend[w]})
+			defs = append(defs, Deferral{To: w, ReadyAt: r.nextSend[w]})
+		}
+		return defs
+	}
+	upd := &wire.Update{}
+	for _, prefix := range r.dom.prefixes {
+		rb := r.ribs[prefix]
+		ann, wd := rb.CommitSend(w, rb.TargetFor(w))
+		for _, id := range wd {
+			upd.Withdrawn = append(upd.Withdrawn, wire.WithdrawnRoute{Prefix: prefix, PathID: uint32(id)})
+		}
+		for _, id := range ann {
+			rec := wire.FromExitPath(r.dom.systems[prefix].Exit(id))
+			rec.Prefix = prefix
+			upd.Announced = append(upd.Announced, rec)
+		}
+	}
+	if len(upd.Announced) == 0 && len(upd.Withdrawn) == 0 {
+		return defs
+	}
+	r.nextSend[w] = now + r.mrai
+	// Sent is incremented before the transport writes so a concurrent
+	// quiescence probe never sees the receipt before the send.
+	r.counters.Sent.Add(1)
+	arriveAt, err := send(w, upd)
+	if err != nil {
+		r.counters.Sent.Add(-1)
+		r.counters.Dropped.Add(1)
+		return defs
+	}
+	r.emit(Event{Kind: UpdateSent, Time: now, Node: r.id, Peer: w, Update: upd, ArriveAt: arriveAt})
+	return defs
+}
+
+// Best returns the current best path for one prefix, or bgp.None.
+func (r *Router) Best(prefix uint32) bgp.PathID {
+	if rb, ok := r.ribs[prefix]; ok {
+		return rb.Best()
+	}
+	return bgp.None
+}
+
+// Possible returns the current candidate set for one prefix.
+func (r *Router) Possible(prefix uint32) bgp.PathSet {
+	if rb, ok := r.ribs[prefix]; ok {
+		return rb.Possible()
+	}
+	return bgp.PathSet{}
+}
+
+// Upgraded reports whether this router switched to survivor advertisement
+// for one prefix under the Adaptive policy.
+func (r *Router) Upgraded(prefix uint32) bool {
+	if rb, ok := r.ribs[prefix]; ok {
+		return rb.Upgraded()
+	}
+	return false
+}

@@ -1,25 +1,26 @@
 // Package speaker runs an autonomous system's I-BGP speakers as real
 // concurrent processes: one goroutine-backed speaker per router, TCP
 // sessions on the loopback interface between every I-BGP peer pair, and
-// the wire protocol of package wire on the sessions. All speakers share
-// the protocol logic of package rib, so this substrate executes exactly
-// the same decision process as the discrete-event simulator — but under
-// genuine asynchrony, where the operating system's scheduling provides the
-// message orderings the paper quantifies over.
+// the wire protocol of package wire on the sessions. The per-router
+// operational behaviour — RIB maintenance, refresh, per-peer diff and
+// coalesce, MRAI pacing — is the shared core of package router, so this
+// substrate executes exactly the same decision process as the
+// discrete-event simulator — but under genuine asynchrony, where the
+// operating system's scheduling provides the message orderings the paper
+// quantifies over.
 package speaker
 
 import (
 	"errors"
 	"fmt"
 	"net"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/bgp"
 	"repro/internal/protocol"
-	"repro/internal/rib"
+	"repro/internal/router"
 	"repro/internal/selection"
 	"repro/internal/topology"
 	"repro/internal/wire"
@@ -34,9 +35,10 @@ type control struct {
 
 // inbound is one unit of work for a speaker's main loop.
 type inbound struct {
-	from bgp.NodeID
-	upd  *wire.Update
-	ctl  *control
+	from  bgp.NodeID
+	upd   *wire.Update
+	ctl   *control
+	flush *bgp.NodeID // MRAI window reopened for this peer
 }
 
 // session is one established I-BGP TCP session.
@@ -53,14 +55,15 @@ func (s *session) write(msg wire.Message) error {
 	return s.w.WriteMessage(msg)
 }
 
-// Speaker is one running I-BGP speaker. It holds one RIB per destination
-// prefix (single-prefix deployments use prefix 0).
+// Speaker is one running I-BGP speaker: a router core plus its TCP
+// sessions and goroutines. It carries one RIB per destination prefix
+// (single-prefix deployments use prefix 0).
 type Speaker struct {
 	net *Network
 	id  bgp.NodeID
 
-	mu   sync.Mutex
-	ribs map[uint32]*rib.RIB
+	mu   sync.Mutex // guards core
+	core *router.Router
 
 	sessions map[bgp.NodeID]*session
 	inbox    chan inbound
@@ -75,10 +78,7 @@ func (s *Speaker) Best() bgp.PathID { return s.BestFor(0) }
 func (s *Speaker) BestFor(prefix uint32) bgp.PathID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if r, ok := s.ribs[prefix]; ok {
-		return r.Best()
-	}
-	return bgp.None
+	return s.core.Best(prefix)
 }
 
 // Possible returns the speaker's current candidate set for prefix 0.
@@ -88,10 +88,7 @@ func (s *Speaker) Possible() bgp.PathSet { return s.PossibleFor(0) }
 func (s *Speaker) PossibleFor(prefix uint32) bgp.PathSet {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if r, ok := s.ribs[prefix]; ok {
-		return r.Possible()
-	}
-	return bgp.PathSet{}
+	return s.core.Possible(prefix)
 }
 
 // Upgraded reports whether this speaker switched to survivor advertisement
@@ -99,10 +96,7 @@ func (s *Speaker) PossibleFor(prefix uint32) bgp.PathSet {
 func (s *Speaker) Upgraded(prefix uint32) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if r, ok := s.ribs[prefix]; ok {
-		return r.Upgraded()
-	}
-	return false
+	return s.core.Upgraded(prefix)
 }
 
 // Network owns all speakers of one AS. It can carry several destination
@@ -110,16 +104,16 @@ func (s *Speaker) Upgraded(prefix uint32) bool {
 // topology — the per-prefix independence that the Section 10 triggered
 // advertisement relies on.
 type Network struct {
-	sys      *topology.System // shared topology (sessions, links, names)
-	systems  map[uint32]*topology.System
-	prefixes []uint32 // sorted
-	policy   protocol.Policy
-	opts     selection.Options
+	dom      *router.Domain
 	speakers []*Speaker
 
-	sent  atomic.Int64 // UPDATEs written to TCP
-	recvd atomic.Int64 // UPDATEs fully processed
-	flaps atomic.Int64
+	counters router.Counters
+	timers   atomic.Int64 // outstanding MRAI reopen timers
+
+	started time.Time // transport clock epoch, set by Start
+
+	obsMu    sync.Mutex
+	observer func(router.Event)
 
 	stopOnce sync.Once
 }
@@ -139,92 +133,91 @@ func New(sys *topology.System, policy protocol.Policy, opts selection.Options) *
 // differing only in their exit paths. Each speaker runs one RIB per
 // prefix; UPDATE messages interleave prefixes on the shared sessions.
 func NewMulti(systems map[uint32]*topology.System, policy protocol.Policy, opts selection.Options) (*Network, error) {
-	if len(systems) == 0 {
-		return nil, errors.New("speaker: no prefixes")
+	dom, err := router.NewDomain(systems, policy, opts)
+	if err != nil {
+		return nil, fmt.Errorf("speaker: %w", err)
 	}
-	var prefixes []uint32
-	for p := range systems {
-		prefixes = append(prefixes, p)
-	}
-	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
-	base := systems[prefixes[0]]
-	for _, p := range prefixes[1:] {
-		if err := sameTopology(base, systems[p]); err != nil {
-			return nil, fmt.Errorf("speaker: prefix %d: %w", p, err)
-		}
-	}
-	n := &Network{
-		sys:      base,
-		systems:  systems,
-		prefixes: prefixes,
-		policy:   policy,
-		opts:     opts,
-	}
-	for u := 0; u < base.N(); u++ {
+	n := &Network{dom: dom}
+	for u := 0; u < dom.Base().N(); u++ {
 		sp := &Speaker{
 			net:      n,
 			id:       bgp.NodeID(u),
-			ribs:     map[uint32]*rib.RIB{},
+			core:     dom.NewRouter(bgp.NodeID(u), &n.counters),
 			sessions: map[bgp.NodeID]*session{},
 			inbox:    make(chan inbound, 1024),
 			done:     make(chan struct{}),
 		}
-		for _, p := range prefixes {
-			sp.ribs[p] = rib.New(systems[p], policy, opts, bgp.NodeID(u))
-		}
+		sp.core.Events(n.dispatch)
 		n.speakers = append(n.speakers, sp)
 	}
 	return n, nil
 }
 
-// sameTopology checks that two systems differ only in their exit paths.
-func sameTopology(a, b *topology.System) error {
-	if a.N() != b.N() {
-		return fmt.Errorf("router counts differ (%d vs %d)", a.N(), b.N())
-	}
-	for u := 0; u < a.N(); u++ {
-		uid := bgp.NodeID(u)
-		if a.Name(uid) != b.Name(uid) {
-			return fmt.Errorf("router %d named %q vs %q", u, a.Name(uid), b.Name(uid))
-		}
-		if a.BGPID(uid) != b.BGPID(uid) {
-			return fmt.Errorf("router %q BGP ids differ", a.Name(uid))
-		}
-		for v := 0; v < a.N(); v++ {
-			vid := bgp.NodeID(v)
-			if a.HasSession(uid, vid) != b.HasSession(uid, vid) {
-				return fmt.Errorf("session %q-%q differs", a.Name(uid), a.Name(vid))
-			}
-			if a.Phys().EdgeCost(uid, vid) != b.Phys().EdgeCost(uid, vid) {
-				return fmt.Errorf("link cost %q-%q differs", a.Name(uid), a.Name(vid))
-			}
-		}
-	}
-	return nil
-}
-
 // Prefixes returns the prefixes this network carries, sorted.
-func (n *Network) Prefixes() []uint32 { return append([]uint32(nil), n.prefixes...) }
+func (n *Network) Prefixes() []uint32 { return n.dom.Prefixes() }
 
 // Speaker returns the speaker for router u.
 func (n *Network) Speaker(u bgp.NodeID) *Speaker { return n.speakers[u] }
 
 // Flaps returns the total number of best-route changes observed.
-func (n *Network) Flaps() int { return int(n.flaps.Load()) }
+func (n *Network) Flaps() int { return int(n.counters.Flaps.Load()) }
 
 // MessagesSent returns the total number of UPDATE messages written.
-func (n *Network) MessagesSent() int { return int(n.sent.Load()) }
+func (n *Network) MessagesSent() int { return int(n.counters.Sent.Load()) }
+
+// MessagesDropped returns the number of UPDATEs lost to dead sessions.
+func (n *Network) MessagesDropped() int { return int(n.counters.Dropped.Load()) }
+
+// Counters returns the shared operational counters at this instant.
+func (n *Network) Counters() router.Snapshot { return n.counters.Snapshot() }
+
+// SetMRAI sets the minimum route advertisement interval on every speaker,
+// in milliseconds of wall clock (0 disables, the default). Call before
+// Start.
+func (n *Network) SetMRAI(ms int64) {
+	for _, sp := range n.speakers {
+		sp.core.SetMRAI(ms)
+	}
+}
+
+// Observe registers a typed-event callback. The callback is invoked from
+// the speakers' goroutines, serialized by the network; it must not call
+// back into the network. Pass nil to disable.
+func (n *Network) Observe(fn func(router.Event)) {
+	n.obsMu.Lock()
+	n.observer = fn
+	n.obsMu.Unlock()
+}
+
+// dispatch fans one core event out to the registered observer. Events are
+// serialized so a printing observer needs no locking of its own.
+func (n *Network) dispatch(ev router.Event) {
+	n.obsMu.Lock()
+	defer n.obsMu.Unlock()
+	if n.observer != nil {
+		n.observer(ev)
+	}
+}
+
+// now is the transport clock: milliseconds since Start.
+func (n *Network) now() int64 {
+	if n.started.IsZero() {
+		return 0
+	}
+	return time.Since(n.started).Milliseconds()
+}
 
 // Start opens loopback listeners, dials every session, exchanges OPENs and
 // launches the speaker loops.
 func (n *Network) Start() error {
+	sys := n.dom.Base()
 	// One listener per speaker.
 	listeners := make([]net.Listener, len(n.speakers))
 	for i := range n.speakers {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			n.Stop()
-			return fmt.Errorf("speaker: listen for %s: %w", n.sys.Name(bgp.NodeID(i)), err)
+			return fmt.Errorf("speaker: listen for %s: %w", sys.Name(bgp.NodeID(i)), err)
 		}
 		listeners[i] = ln
 	}
@@ -243,14 +236,14 @@ func (n *Network) Start() error {
 		err  error
 	}
 	expect := make([]int, len(n.speakers))
-	for u := 0; u < n.sys.N(); u++ {
-		for _, v := range n.sys.Peers(bgp.NodeID(u)) {
+	for u := 0; u < sys.N(); u++ {
+		for _, v := range sys.Peers(bgp.NodeID(u)) {
 			if bgp.NodeID(u) < v {
 				expect[v]++ // u dials v
 			}
 		}
 	}
-	acceptCh := make(chan accepted, n.sys.N()*n.sys.N())
+	acceptCh := make(chan accepted, sys.N()*sys.N())
 	var acceptWG sync.WaitGroup
 	for i, ln := range listeners {
 		if expect[i] == 0 {
@@ -285,8 +278,8 @@ func (n *Network) Start() error {
 
 	// Dial side.
 	var dialErr error
-	for u := 0; u < n.sys.N(); u++ {
-		for _, v := range n.sys.Peers(bgp.NodeID(u)) {
+	for u := 0; u < sys.N(); u++ {
+		for _, v := range sys.Peers(bgp.NodeID(u)) {
 			if bgp.NodeID(u) >= v {
 				continue
 			}
@@ -298,7 +291,7 @@ func (n *Network) Start() error {
 			w := wire.NewWriter(conn)
 			if err := w.WriteMessage(wire.Open{
 				Version: wire.Version,
-				BGPID:   uint32(n.sys.BGPID(bgp.NodeID(u))),
+				BGPID:   uint32(sys.BGPID(bgp.NodeID(u))),
 				NodeID:  uint32(u),
 			}); err != nil {
 				conn.Close()
@@ -325,15 +318,16 @@ func (n *Network) Start() error {
 		return dialErr
 	}
 	// Verify every session is in place, then launch.
-	for u := 0; u < n.sys.N(); u++ {
-		for _, v := range n.sys.Peers(bgp.NodeID(u)) {
+	for u := 0; u < sys.N(); u++ {
+		for _, v := range sys.Peers(bgp.NodeID(u)) {
 			if n.speakers[u].sessions[v] == nil {
 				n.Stop()
 				return fmt.Errorf("speaker: session %s-%s missing",
-					n.sys.Name(bgp.NodeID(u)), n.sys.Name(v))
+					sys.Name(bgp.NodeID(u)), sys.Name(v))
 			}
 		}
 	}
+	n.started = time.Now()
 	for _, sp := range n.speakers {
 		sp.start()
 	}
@@ -398,84 +392,68 @@ func (s *Speaker) mainLoop() {
 	}
 }
 
-// handle applies one unit of inbound work to the per-prefix RIBs.
+// handle applies one unit of inbound work to the router core.
 func (s *Speaker) handle(in inbound) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	now := s.net.now()
 	switch {
 	case in.upd != nil:
-		ann := map[uint32][]bgp.PathID{}
-		wd := map[uint32][]bgp.PathID{}
-		for _, rec := range in.upd.Announced {
-			ann[rec.Prefix] = append(ann[rec.Prefix], bgp.PathID(rec.PathID))
-		}
-		for _, w := range in.upd.Withdrawn {
-			wd[w.Prefix] = append(wd[w.Prefix], bgp.PathID(w.PathID))
-		}
-		for prefix, r := range s.ribs {
-			if len(ann[prefix]) > 0 || len(wd[prefix]) > 0 {
-				r.ApplyUpdate(in.from, ann[prefix], wd[prefix])
-			}
-		}
-		s.net.recvd.Add(1)
+		// A validation failure is counted by the core (Rejected); the
+		// update is discarded whole, like a malformed UPDATE in BGP.
+		_ = s.core.ApplyUpdate(now, in.from, in.upd)
 	case in.ctl != nil:
-		r, ok := s.ribs[in.ctl.prefix]
-		if !ok {
-			return
-		}
 		if in.ctl.inject >= 0 {
-			r.Inject(in.ctl.inject)
+			s.core.Inject(now, in.ctl.prefix, in.ctl.inject)
 		}
 		if in.ctl.withdraw >= 0 {
-			r.WithdrawExternal(in.ctl.withdraw)
+			s.core.WithdrawExternal(now, in.ctl.prefix, in.ctl.withdraw)
 		}
+	case in.flush != nil:
+		s.core.Reopen(*in.flush)
 	}
 }
 
-// refresh recomputes routes on every prefix and pushes owed UPDATEs onto
-// the sessions, one wire message per peer coalescing all prefixes.
+// refresh runs the core refresh — recompute routes, send owed UPDATEs —
+// and schedules wall-clock timers for any MRAI deferrals the core reports.
 func (s *Speaker) refresh() {
-	perPeer := map[bgp.NodeID]*wire.Update{}
 	s.mu.Lock()
-	for _, prefix := range s.net.prefixes {
-		r := s.ribs[prefix]
-		flapped, updates := r.Refresh()
-		if flapped {
-			s.net.flaps.Add(1)
-		}
-		for _, u := range updates {
-			msg := perPeer[u.To]
-			if msg == nil {
-				msg = &wire.Update{}
-				perPeer[u.To] = msg
-			}
-			for _, id := range u.Withdraw {
-				msg.Withdrawn = append(msg.Withdrawn, wire.WithdrawnRoute{Prefix: prefix, PathID: uint32(id)})
-			}
-			for _, id := range u.Announce {
-				rec := wire.FromExitPath(s.net.systems[prefix].Exit(id))
-				rec.Prefix = prefix
-				msg.Announced = append(msg.Announced, rec)
-			}
-		}
-	}
+	defs := s.core.Refresh(s.net.now(), s.send)
 	s.mu.Unlock()
-	// Deterministic send order.
-	peers := make([]bgp.NodeID, 0, len(perPeer))
-	for w := range perPeer {
-		peers = append(peers, w)
+	for _, d := range defs {
+		s.scheduleFlush(d)
 	}
-	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
-	for _, w := range peers {
-		sess := s.sessions[w]
-		if sess == nil {
-			continue
-		}
-		s.net.sent.Add(1)
-		if err := sess.write(*perPeer[w]); err != nil {
-			return // session torn down
-		}
+}
+
+// send implements router.SendFunc over the TCP sessions. Arrival time is
+// unknown on a real network, so it reports -1.
+func (s *Speaker) send(w bgp.NodeID, upd *wire.Update) (int64, error) {
+	sess := s.sessions[w]
+	if sess == nil {
+		return -1, fmt.Errorf("speaker: no session to %d", w)
 	}
+	if err := sess.write(*upd); err != nil {
+		return -1, err // session torn down; core counts the drop
+	}
+	return -1, nil
+}
+
+// scheduleFlush arms a timer that reopens the MRAI window for one peer and
+// re-runs the refresh through the speaker's main loop.
+func (s *Speaker) scheduleFlush(d router.Deferral) {
+	delay := time.Duration(d.ReadyAt-s.net.now()) * time.Millisecond
+	if delay < 0 {
+		delay = 0
+	}
+	peer := d.To
+	s.net.timers.Add(1)
+	time.AfterFunc(delay, func() {
+		select {
+		case s.inbox <- inbound{flush: &peer}:
+		case <-s.done:
+		}
+		s.net.timers.Add(-1)
+	})
 }
 
 // Inject delivers an E-BGP route for prefix 0 to its exit point's speaker.
@@ -483,8 +461,8 @@ func (n *Network) Inject(id bgp.PathID) { n.InjectPrefix(0, id) }
 
 // InjectPrefix delivers an E-BGP route for one prefix.
 func (n *Network) InjectPrefix(prefix uint32, id bgp.PathID) {
-	sys, ok := n.systems[prefix]
-	if !ok {
+	sys := n.dom.System(prefix)
+	if sys == nil {
 		return
 	}
 	p := sys.Exit(id)
@@ -501,8 +479,8 @@ func (n *Network) Withdraw(id bgp.PathID) { n.WithdrawPrefix(0, id) }
 
 // WithdrawPrefix removes an E-BGP route for one prefix.
 func (n *Network) WithdrawPrefix(prefix uint32, id bgp.PathID) {
-	sys, ok := n.systems[prefix]
-	if !ok {
+	sys := n.dom.System(prefix)
+	if sys == nil {
 		return
 	}
 	p := sys.Exit(id)
@@ -516,17 +494,21 @@ func (n *Network) WithdrawPrefix(prefix uint32, id bgp.PathID) {
 
 // InjectAll delivers every exit path of every prefix.
 func (n *Network) InjectAll() {
-	for _, prefix := range n.prefixes {
-		for _, p := range n.systems[prefix].Exits() {
+	for _, prefix := range n.dom.Prefixes() {
+		for _, p := range n.dom.System(prefix).Exits() {
 			n.InjectPrefix(prefix, p.ID)
 		}
 	}
 }
 
 // Quiesced reports whether no UPDATE is currently unprocessed: everything
-// written has been handled and no speaker holds queued work.
+// written has been handled, no MRAI timer is outstanding, and no speaker
+// holds queued work.
 func (n *Network) Quiesced() bool {
-	if n.sent.Load() != n.recvd.Load() {
+	if n.counters.Sent.Load() != n.counters.Received.Load() {
+		return false
+	}
+	if n.timers.Load() != 0 {
 		return false
 	}
 	for _, sp := range n.speakers {
@@ -544,9 +526,9 @@ func (n *Network) Quiesced() bool {
 func (n *Network) WaitQuiesce(timeout, settle time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	quietSince := time.Time{}
-	lastSent := n.sent.Load()
+	lastSent := n.counters.Sent.Load()
 	for time.Now().Before(deadline) {
-		if n.Quiesced() && n.sent.Load() == lastSent {
+		if n.Quiesced() && n.counters.Sent.Load() == lastSent {
 			if quietSince.IsZero() {
 				quietSince = time.Now()
 			} else if time.Since(quietSince) >= settle {
@@ -554,7 +536,7 @@ func (n *Network) WaitQuiesce(timeout, settle time.Duration) bool {
 			}
 		} else {
 			quietSince = time.Time{}
-			lastSent = n.sent.Load()
+			lastSent = n.counters.Sent.Load()
 		}
 		time.Sleep(2 * time.Millisecond)
 	}

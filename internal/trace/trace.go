@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/protocol"
+	"repro/internal/router"
 	"repro/internal/topology"
 )
 
@@ -117,4 +118,80 @@ func Summary(sys *topology.System, snap protocol.Snapshot) string {
 func ResultLine(policy protocol.Policy, res protocol.Result) string {
 	return fmt.Sprintf("policy=%-8s outcome=%-9s steps=%-6d bestChanges=%-6d messages=%d",
 		policy, res.Outcome, res.Steps, res.BestChanges, res.Messages)
+}
+
+// opPathName renders a PathID in the operational-trace style.
+func opPathName(id bgp.PathID) string {
+	if id == bgp.None {
+		return "(none)"
+	}
+	return fmt.Sprintf("p%d", id)
+}
+
+// renderRoutes formats a prefix-tagged path list for operational traces;
+// the prefix tag is shown only in multi-prefix runs.
+func renderRoutes(prefixes []uint32, ids []uint32, multi bool) string {
+	parts := make([]string, len(ids))
+	for i := range ids {
+		if multi {
+			parts[i] = fmt.Sprintf("%d/p%d", prefixes[i], ids[i])
+		} else {
+			parts[i] = fmt.Sprintf("p%d", ids[i])
+		}
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// NewRouterEventRenderer returns a renderer turning the typed event stream
+// of package router into the line-trace format both substrates share (and
+// that msgsim has always produced). It returns "" for events that have no
+// line form (currently UpdateReceived); callers skip empty lines.
+func NewRouterEventRenderer(sys *topology.System, multi bool) func(router.Event) string {
+	line := func(t int64, format string, args ...any) string {
+		return fmt.Sprintf("t=%-6d %s", t, fmt.Sprintf(format, args...))
+	}
+	return func(ev router.Event) string {
+		switch ev.Kind {
+		case router.Injected:
+			return line(ev.Time, "%s learns p%d via E-BGP", sys.Name(ev.Node), ev.Path)
+		case router.Withdrawn:
+			return line(ev.Time, "%s loses p%d via E-BGP", sys.Name(ev.Node), ev.Path)
+		case router.BestChanged:
+			tag := ""
+			if multi {
+				tag = fmt.Sprintf("[%d]", ev.Prefix)
+			}
+			return line(ev.Time, "%s best%s: %s -> %s", sys.Name(ev.Node), tag,
+				opPathName(ev.OldBest), opPathName(ev.NewBest))
+		case router.MRAIDeferred:
+			return line(ev.Time, "%s -> %s update deferred by MRAI until t=%d",
+				sys.Name(ev.Node), sys.Name(ev.Peer), ev.ReadyAt)
+		case router.UpdateSent:
+			annPfx := make([]uint32, len(ev.Update.Announced))
+			annIDs := make([]uint32, len(ev.Update.Announced))
+			for i, rec := range ev.Update.Announced {
+				annPfx[i], annIDs[i] = rec.Prefix, rec.PathID
+			}
+			wdPfx := make([]uint32, len(ev.Update.Withdrawn))
+			wdIDs := make([]uint32, len(ev.Update.Withdrawn))
+			for i, w := range ev.Update.Withdrawn {
+				wdPfx[i], wdIDs[i] = w.Prefix, w.PathID
+			}
+			body := fmt.Sprintf("%s -> %s announce=%s withdraw=%s",
+				sys.Name(ev.Node), sys.Name(ev.Peer),
+				renderRoutes(annPfx, annIDs, multi), renderRoutes(wdPfx, wdIDs, multi))
+			if ev.ArriveAt >= 0 {
+				body += fmt.Sprintf(" (arrives t=%d)", ev.ArriveAt)
+			}
+			return line(ev.Time, "%s", body)
+		default:
+			return ""
+		}
+	}
+}
+
+// CountersLine renders the shared operational counters of one run.
+func CountersLine(c router.Snapshot) string {
+	return fmt.Sprintf("flaps=%-6d sent=%-6d received=%-6d deferrals=%-4d dropped=%-4d rejected=%d",
+		c.Flaps, c.Sent, c.Received, c.Deferrals, c.Dropped, c.Rejected)
 }

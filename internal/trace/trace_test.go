@@ -4,9 +4,13 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/bgp"
 	"repro/internal/figures"
 	"repro/internal/protocol"
+	"repro/internal/router"
 	"repro/internal/selection"
+	"repro/internal/topology"
+	"repro/internal/wire"
 )
 
 func TestRecorderCollectsAndRenders(t *testing.T) {
@@ -63,5 +67,70 @@ func TestSummaryAndResultLine(t *testing.T) {
 	line := ResultLine(protocol.Modified, res)
 	if !strings.Contains(line, "modified") || !strings.Contains(line, "converged") {
 		t.Fatalf("result line = %q", line)
+	}
+}
+
+func TestRouterEventRenderer(t *testing.T) {
+	b := topology.NewBuilder()
+	c0 := b.NewCluster()
+	rr := b.Reflector("RR", c0)
+	c1 := b.Client("c1", c0)
+	b.Link(rr, c1, 10)
+	p0 := b.Exit(rr, topology.ExitSpec{NextAS: 1})
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	render := NewRouterEventRenderer(sys, false)
+	upd := &wire.Update{
+		Announced: []wire.RouteRecord{{Prefix: 0, PathID: uint32(p0)}},
+		Withdrawn: []wire.WithdrawnRoute{{Prefix: 0, PathID: 1}},
+	}
+	cases := []struct {
+		ev   router.Event
+		want string
+	}{
+		{router.Event{Kind: router.Injected, Time: 5, Node: rr, Path: p0},
+			"t=5      RR learns p0 via E-BGP"},
+		{router.Event{Kind: router.Withdrawn, Time: 12, Node: rr, Path: p0},
+			"t=12     RR loses p0 via E-BGP"},
+		{router.Event{Kind: router.BestChanged, Time: 0, Node: c1, OldBest: bgp.None, NewBest: p0},
+			"t=0      c1 best: (none) -> p0"},
+		{router.Event{Kind: router.MRAIDeferred, Time: 7, Node: rr, Peer: c1, ReadyAt: 40},
+			"t=7      RR -> c1 update deferred by MRAI until t=40"},
+		{router.Event{Kind: router.UpdateSent, Time: 3, Node: rr, Peer: c1, Update: upd, ArriveAt: 9},
+			"t=3      RR -> c1 announce=[p0] withdraw=[p1] (arrives t=9)"},
+		{router.Event{Kind: router.UpdateSent, Time: 3, Node: rr, Peer: c1, Update: upd, ArriveAt: -1},
+			"t=3      RR -> c1 announce=[p0] withdraw=[p1]"},
+		{router.Event{Kind: router.UpdateReceived, Time: 3, Node: c1, Peer: rr, Update: upd},
+			""},
+	}
+	for i, c := range cases {
+		if got := render(c.ev); got != c.want {
+			t.Fatalf("case %d:\n got %q\nwant %q", i, got, c.want)
+		}
+	}
+
+	multi := NewRouterEventRenderer(sys, true)
+	ev := router.Event{Kind: router.UpdateSent, Time: 1, Node: rr, Peer: c1, ArriveAt: 2, Update: &wire.Update{
+		Announced: []wire.RouteRecord{{Prefix: 1, PathID: 0}, {Prefix: 2, PathID: 3}},
+	}}
+	want := "t=1      RR -> c1 announce=[1/p0 2/p3] withdraw=[] (arrives t=2)"
+	if got := multi(ev); got != want {
+		t.Fatalf("multi-prefix:\n got %q\nwant %q", got, want)
+	}
+	evb := router.Event{Kind: router.BestChanged, Time: 4, Node: c1, Prefix: 2, OldBest: p0, NewBest: bgp.None}
+	if got, want := multi(evb), "t=4      c1 best[2]: p0 -> (none)"; got != want {
+		t.Fatalf("multi-prefix best:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestCountersLine(t *testing.T) {
+	line := CountersLine(router.Snapshot{Flaps: 3, Sent: 10, Received: 9, Deferrals: 2, Dropped: 1, Rejected: 0})
+	for _, want := range []string{"flaps=3", "sent=10", "received=9", "deferrals=2", "dropped=1", "rejected=0"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("counters line %q missing %q", line, want)
+		}
 	}
 }

@@ -15,6 +15,25 @@ func FuzzDecode(f *testing.F) {
 		Notification{Code: 6, Subcode: 1},
 		Update{Withdrawn: []WithdrawnRoute{{PathID: 1}}, Announced: []RouteRecord{{PathID: 2, TieBreak: -1}}},
 		Update{},
+		// Multi-prefix updates mixing announcements and withdrawals, the
+		// shape the shared router core emits (one message per peer
+		// coalescing every prefix).
+		Update{
+			Withdrawn: []WithdrawnRoute{{Prefix: 1, PathID: 0}, {Prefix: 2, PathID: 3}},
+			Announced: []RouteRecord{
+				{Prefix: 1, PathID: 1, LocalPref: 100, NextAS: 7, MED: 5, ExitPoint: 2, ExitCost: 30, NextHopID: 2001, TieBreak: -1},
+				{Prefix: 2, PathID: 0, LocalPref: 100, NextAS: 9, MED: 0, ExitPoint: 0, ExitCost: 10, NextHopID: 2000, TieBreak: 4},
+			},
+		},
+		Update{
+			Withdrawn: []WithdrawnRoute{{Prefix: 0, PathID: 2}, {Prefix: 0, PathID: 1}, {Prefix: 3, PathID: 0}},
+		},
+		Update{
+			Announced: []RouteRecord{
+				{Prefix: 0, PathID: 0, TieBreak: -1},
+				{Prefix: 0xffffffff, PathID: 0xffffffff, ExitPoint: 0xffffffff, ExitCost: ^uint64(0), TieBreak: -1 << 31},
+			},
+		},
 	}
 	for _, m := range seed {
 		data, err := Encode(m)

@@ -280,6 +280,64 @@ func Decode(data []byte) (Message, int, error) {
 	}
 }
 
+// System is the subset of a topology that decode-side validation reads;
+// *topology.System satisfies it. Validation is optional — a decoder
+// without out-of-band topology knowledge simply never calls Validate.
+type System interface {
+	// N is the number of routers.
+	N() int
+	// NumExits is the number of exit paths.
+	NumExits() int
+}
+
+// Validate bound-checks one announced record against sys: the PathID must
+// name an exit path of the topology and the ExitPoint must name a router.
+// NextHopID and TieBreak are BGP-identifier-valued, not node indices, so
+// they carry no topological bound.
+func (r RouteRecord) Validate(sys System) error {
+	if int(r.PathID) >= sys.NumExits() {
+		return fmt.Errorf("wire: record for prefix %d: path p%d outside topology (%d exits)",
+			r.Prefix, r.PathID, sys.NumExits())
+	}
+	if int(r.ExitPoint) >= sys.N() {
+		return fmt.Errorf("wire: record for prefix %d: exit point %d outside topology (%d routers)",
+			r.Prefix, r.ExitPoint, sys.N())
+	}
+	return nil
+}
+
+// Validate bound-checks every record of the update against the per-prefix
+// system returned by lookup; lookup returning nil marks an unknown prefix.
+// The first violation is returned and the update should be dropped whole.
+func (u *Update) Validate(lookup func(prefix uint32) System) error {
+	for _, wd := range u.Withdrawn {
+		sys := lookup(wd.Prefix)
+		if sys == nil {
+			return fmt.Errorf("wire: withdrawal for unknown prefix %d", wd.Prefix)
+		}
+		if int(wd.PathID) >= sys.NumExits() {
+			return fmt.Errorf("wire: withdrawal for prefix %d: path p%d outside topology (%d exits)",
+				wd.Prefix, wd.PathID, sys.NumExits())
+		}
+	}
+	for _, rec := range u.Announced {
+		sys := lookup(rec.Prefix)
+		if sys == nil {
+			return fmt.Errorf("wire: record for unknown prefix %d", rec.Prefix)
+		}
+		if err := rec.Validate(sys); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateFor validates against a single-prefix deployment: every record,
+// whatever prefix it carries, is checked against sys.
+func (u *Update) ValidateFor(sys System) error {
+	return u.Validate(func(uint32) System { return sys })
+}
+
 // Writer frames messages onto an io.Writer.
 type Writer struct {
 	w   io.Writer

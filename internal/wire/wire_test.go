@@ -268,3 +268,54 @@ func TestOversizeUpdateRejected(t *testing.T) {
 		t.Fatalf("oversize update: err = %v", err)
 	}
 }
+
+// fakeSystem is a minimal System for validation tests.
+type fakeSystem struct{ n, exits int }
+
+func (f fakeSystem) N() int        { return f.n }
+func (f fakeSystem) NumExits() int { return f.exits }
+
+func TestRouteRecordValidate(t *testing.T) {
+	sys := fakeSystem{n: 4, exits: 3}
+	good := RouteRecord{PathID: 2, ExitPoint: 3, NextHopID: 2007, TieBreak: -1}
+	if err := good.Validate(sys); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	if err := (RouteRecord{PathID: 3, ExitPoint: 0}).Validate(sys); err == nil {
+		t.Fatal("PathID == NumExits accepted")
+	}
+	if err := (RouteRecord{PathID: 0, ExitPoint: 4}).Validate(sys); err == nil {
+		t.Fatal("ExitPoint == N accepted")
+	}
+}
+
+func TestUpdateValidate(t *testing.T) {
+	systems := map[uint32]System{
+		0: fakeSystem{n: 4, exits: 3},
+		7: fakeSystem{n: 4, exits: 1},
+	}
+	lookup := func(prefix uint32) System { return systems[prefix] }
+
+	ok := &Update{
+		Withdrawn: []WithdrawnRoute{{Prefix: 0, PathID: 2}, {Prefix: 7, PathID: 0}},
+		Announced: []RouteRecord{{Prefix: 0, PathID: 0, ExitPoint: 1}},
+	}
+	if err := ok.Validate(lookup); err != nil {
+		t.Fatalf("valid update rejected: %v", err)
+	}
+	cases := []*Update{
+		{Withdrawn: []WithdrawnRoute{{Prefix: 1, PathID: 0}}},             // unknown prefix
+		{Announced: []RouteRecord{{Prefix: 1, PathID: 0}}},                // unknown prefix
+		{Withdrawn: []WithdrawnRoute{{Prefix: 7, PathID: 1}}},             // path out of bounds
+		{Announced: []RouteRecord{{Prefix: 7, PathID: 0, ExitPoint: 99}}}, // exit point out of bounds
+		{Announced: []RouteRecord{{Prefix: 0, PathID: 17, ExitPoint: 0}}}, // path out of bounds
+	}
+	for i, u := range cases {
+		if err := u.Validate(lookup); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, u)
+		}
+	}
+	if err := ok.ValidateFor(systems[0]); err != nil {
+		t.Fatalf("ValidateFor rejected prefix-bounded update: %v", err)
+	}
+}

@@ -1,0 +1,96 @@
+package ibgp
+
+// BenchmarkRouterRefresh pins the shared operational router core: heap
+// allocations per refresh (the recompute + per-peer diff/coalesce path
+// both substrates run on every event) and sustained UPDATE throughput,
+// bare-core and through the full msgsim pipeline with its per-hop wire
+// encode/decode round trip. Results go to BENCH_router.json so the perf
+// trajectory accumulates across commits.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/msgsim"
+	"repro/internal/protocol"
+	"repro/internal/router"
+	"repro/internal/selection"
+	"repro/internal/wire"
+)
+
+func BenchmarkRouterRefresh(b *testing.B) {
+	sys := benchExploreSystem(b)
+	dom := router.Single(sys, protocol.Classic, selection.Options{})
+	var c router.Counters
+	p := sys.Exits()[0]
+	r := dom.NewRouter(p.ExitPoint, &c)
+	sink := func(bgp.NodeID, *wire.Update) (int64, error) { return 0, nil }
+	peers := len(sys.Peers(p.ExitPoint))
+
+	// Warm the RIB maps, then measure a steady-state withdraw/inject cycle:
+	// each half forces a best-route change and a coalesced send to every
+	// peer of the exit router.
+	r.Inject(0, 0, p.ID)
+	r.Refresh(0, sink)
+	cycle := func() {
+		r.WithdrawExternal(0, 0, p.ID)
+		r.Refresh(0, sink)
+		r.Inject(0, 0, p.ID)
+		r.Refresh(0, sink)
+	}
+	allocsPerRefresh := testing.AllocsPerRun(200, cycle) / 2
+
+	// Full-pipeline probe: a converging msgsim run carries every UPDATE
+	// through wire.Encode/Decode on each hop; messages per second over a
+	// few runs is the operational substrate's throughput figure.
+	simStart := time.Now()
+	simMsgs := 0
+	const simRuns = 10
+	for i := 0; i < simRuns; i++ {
+		s := msgsim.New(sys, protocol.Modified, selection.Options{}, msgsim.ConstantDelay(1))
+		s.InjectAll()
+		res := s.Run(0)
+		if !res.Quiesced {
+			b.Fatal("pinned modified-protocol sim did not quiesce")
+		}
+		simMsgs += res.Messages
+	}
+	simSec := time.Since(simStart).Seconds()
+
+	sentBefore := c.Sent.Load()
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+	coreSec := time.Since(start).Seconds()
+	b.StopTimer()
+	coreMsgs := c.Sent.Load() - sentBefore
+
+	coreRate := float64(coreMsgs) / coreSec
+	simRate := float64(simMsgs) / simSec
+	b.ReportMetric(allocsPerRefresh, "allocs/refresh")
+	b.ReportMetric(coreRate, "core-msgs/sec")
+	b.ReportMetric(simRate, "sim-msgs/sec")
+
+	record := struct {
+		Job              string  `json:"job"`
+		Routers          int     `json:"routers"`
+		Peers            int     `json:"peers_of_exit"`
+		AllocsPerRefresh float64 `json:"allocs_per_refresh"`
+		CoreMsgsPerSec   float64 `json:"core_msgs_per_sec"`
+		SimMsgsPerSec    float64 `json:"sim_msgs_per_sec"`
+		SimMessages      int     `json:"sim_messages"`
+	}{
+		Job:              "router-refresh/3-cluster-med-rich-seed13",
+		Routers:          sys.N(),
+		Peers:            peers,
+		AllocsPerRefresh: allocsPerRefresh,
+		CoreMsgsPerSec:   coreRate,
+		SimMsgsPerSec:    simRate,
+		SimMessages:      simMsgs,
+	}
+	writeBenchJSON(b, "BENCH_router.json", record)
+}

@@ -21,3 +21,13 @@ func NewTraceRecorder(sys *System, limit int) *TraceRecorder {
 
 // Summary renders the routing table of a snapshot as text.
 func Summary(sys *System, snap Snapshot) string { return trace.Summary(sys, snap) }
+
+// NewRouterEventRenderer returns the shared line renderer for the typed
+// operational event stream; both substrates' traces use it. It returns ""
+// for events with no line form.
+func NewRouterEventRenderer(sys *System, multi bool) func(RouterEvent) string {
+	return trace.NewRouterEventRenderer(sys, multi)
+}
+
+// CountersLine renders the shared operational counters of one run.
+func CountersLine(c OperationalCounters) string { return trace.CountersLine(c) }
