@@ -9,10 +9,10 @@
 //
 // Usage:
 //
-//	ibgpcensus [-job census|fig13|fuzz] [-shards N] [-workers N] [-seeds N]
-//	           [-start S] [-params k=v,...] [-max-states N] [-schedules N]
-//	           [-checkpoint FILE] [-resume] [-json] [-progress DUR]
-//	           [-timeout DUR]
+//	ibgpcensus [-job census|fig13|fuzz|chaos] [-shards N] [-workers N]
+//	           [-seeds N] [-start S] [-params k=v,...] [-max-states N]
+//	           [-schedules N] [-plans N] [-checkpoint FILE] [-resume]
+//	           [-json] [-progress DUR] [-timeout DUR]
 //
 // -shards parallelises across seeds; -workers parallelises the
 // reachable-state search within each seed. Both are deterministic: the
@@ -22,6 +22,7 @@
 //
 //	ibgpcensus -seeds 500 -json                      # classic census
 //	ibgpcensus -job fig13 -start 8000 -seeds 2000    # Figure 13 hunt
+//	ibgpcensus -job chaos -seeds 200                 # fault-injection sweep
 //	ibgpcensus -seeds 10000 -checkpoint c.jsonl      # checkpointed...
 //	ibgpcensus -seeds 10000 -checkpoint c.jsonl -resume   # ...and resumed
 //
@@ -56,6 +57,7 @@ func main() {
 		maxStates  = flag.Int("max-states", 4000, "per-variant reachable-state budget for the census job (0: sampling only)")
 		workers    = flag.Int("workers", 1, "goroutines per reachable-state search (0: GOMAXPROCS); deterministic — never changes the aggregate")
 		schedules  = flag.Int("schedules", 4, "delay seeds per topology seed (fuzz job)")
+		plans      = flag.Int("plans", 3, "fault plans per topology seed (chaos job)")
 		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint path")
 		resume     = flag.Bool("resume", false, "resume from -checkpoint, running only missing seeds")
 		jsonOut    = flag.Bool("json", false, "write the aggregate as indented JSON on stdout")
@@ -86,8 +88,14 @@ func main() {
 			fatal(err)
 		}
 		job = campaign.FuzzJob{Params: p, Policy: protocol.Classic, Schedules: *schedules}
+	case "chaos":
+		p, err := cli.ParseWorkloadParams(*params, workload.Default(3))
+		if err != nil {
+			fatal(err)
+		}
+		job = campaign.ChaosJob{Params: p, Plans: *plans}
 	default:
-		fatal(fmt.Errorf("unknown -job %q (want census, fig13 or fuzz)", *jobName))
+		fatal(fmt.Errorf("unknown -job %q (want census, fig13, fuzz or chaos)", *jobName))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

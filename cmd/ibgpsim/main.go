@@ -12,13 +12,19 @@
 //	        [-schedule roundrobin|allatonce|random] [-seed N]
 //	        [-max-steps N] [-trace] [-figure 1a|1b|2|3|12|13|14]
 //	        [-substrate model|sim|tcp] [-delay N] [-jitter N] [-mrai N]
-//	        [-wait D]
+//	        [-wait D] [-faults SPEC]
 //
 // Either -topology or -figure selects the system. -substrate=sim runs the
 // message-level simulator (virtual ticks; -delay/-jitter shape per-message
 // delays), -substrate=tcp runs the loopback speakers (milliseconds; -wait
 // bounds the quiescence wait). -msgsim is a deprecated alias for
 // -substrate=sim.
+//
+// -faults installs a deterministic fault plan on either operational
+// substrate: "seed=7,drop=0.05,dup=0.02,delay=0.2,maxdelay=30,
+// reset=0-1@100+50,horizon=600" drops/duplicates/delays UPDATEs with the
+// given per-message probabilities, resets the 0-1 session at t=100 for 50
+// ticks (sim) / ms (tcp), and ceases all faults at t=600.
 package main
 
 import (
@@ -49,6 +55,7 @@ func main() {
 		jitter    = flag.Int64("jitter", 0, "sim: random extra delay bound")
 		mrai      = flag.Int64("mrai", 0, "minimum route advertisement interval, sim ticks / tcp ms (0 off)")
 		wait      = flag.Duration("wait", 5*time.Second, "tcp: quiescence wait bound")
+		faultSpec = flag.String("faults", "", `sim/tcp: fault plan, e.g. "seed=7,drop=0.05,dup=0.02,delay=0.2,maxdelay=30,reset=0-1@100+50,horizon=600"`)
 	)
 	flag.Parse()
 
@@ -70,14 +77,26 @@ func main() {
 	if *useMsg {
 		*substrate = "sim"
 	}
+	var plan *ibgp.FaultPlan
+	if *faultSpec != "" {
+		if *substrate == "model" {
+			fmt.Fprintln(os.Stderr, "ibgpsim: -faults needs an operational substrate (-substrate=sim or tcp)")
+			os.Exit(1)
+		}
+		plan, err = ibgp.ParseFaultSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ibgpsim:", err)
+			os.Exit(1)
+		}
+	}
 
 	switch *substrate {
 	case "model":
 		runModel(sys, pol, opts, *schedule, *seed, *maxSteps, *showTr)
 	case "sim":
-		runMsgsim(sys, pol, opts, *delay, *jitter, *mrai, *seed, *maxSteps, *showTr)
+		runMsgsim(sys, pol, opts, plan, *delay, *jitter, *mrai, *seed, *maxSteps, *showTr)
 	case "tcp":
-		runTCP(sys, pol, opts, *mrai, *wait, *showTr)
+		runTCP(sys, pol, opts, plan, *mrai, *wait, *showTr)
 	default:
 		fmt.Fprintf(os.Stderr, "ibgpsim: unknown substrate %q (model, sim or tcp)\n", *substrate)
 		os.Exit(1)
@@ -124,15 +143,24 @@ func printBest(sys *ibgp.System, best []ibgp.PathID) {
 	}
 }
 
-func runMsgsim(sys *ibgp.System, pol ibgp.Policy, opts ibgp.Options, delay, jitter, mrai, seed int64, maxEvents int, showTrace bool) {
+func runMsgsim(sys *ibgp.System, pol ibgp.Policy, opts ibgp.Options, plan *ibgp.FaultPlan, delay, jitter, mrai, seed int64, maxEvents int, showTrace bool) {
 	var df ibgp.DelayFunc
 	if jitter > 0 {
-		df = ibgp.RandomDelay(seed, delay, delay+jitter)
+		var err error
+		df, err = ibgp.RandomDelay(seed, delay, delay+jitter)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ibgpsim:", err)
+			os.Exit(1)
+		}
 	} else {
 		df = ibgp.ConstantDelay(delay)
 	}
 	s := ibgp.NewSim(sys, pol, opts, df)
 	s.SetMRAI(mrai)
+	if err := s.SetFaults(plan); err != nil {
+		fmt.Fprintln(os.Stderr, "ibgpsim:", err)
+		os.Exit(1)
+	}
 	if showTrace {
 		// The sim's line trace is the shared typed-event renderer applied
 		// to the core's event stream.
@@ -143,15 +171,22 @@ func runMsgsim(sys *ibgp.System, pol ibgp.Policy, opts ibgp.Options, delay, jitt
 	fmt.Printf("policy=%-8s quiesced=%-5v events=%-7d messages=%-7d flaps=%-6d t=%d\n",
 		pol, res.Quiesced, res.Events, res.Messages, res.Flaps, res.Time)
 	fmt.Println(ibgp.CountersLine(s.Counters()))
+	if fl := ibgp.FaultsLine(s.Counters()); fl != "" {
+		fmt.Println(fl)
+	}
 	printBest(sys, res.Best)
 	if !res.Quiesced {
 		os.Exit(2)
 	}
 }
 
-func runTCP(sys *ibgp.System, pol ibgp.Policy, opts ibgp.Options, mrai int64, wait time.Duration, showTrace bool) {
+func runTCP(sys *ibgp.System, pol ibgp.Policy, opts ibgp.Options, plan *ibgp.FaultPlan, mrai int64, wait time.Duration, showTrace bool) {
 	n := ibgp.NewTCPNetwork(sys, pol, opts)
 	n.SetMRAI(mrai)
+	if err := n.SetFaults(plan); err != nil {
+		fmt.Fprintln(os.Stderr, "ibgpsim:", err)
+		os.Exit(1)
+	}
 	if showTrace {
 		render := ibgp.NewRouterEventRenderer(sys, len(n.Prefixes()) > 1)
 		n.Observe(func(ev ibgp.RouterEvent) {
@@ -172,6 +207,9 @@ func runTCP(sys *ibgp.System, pol ibgp.Policy, opts ibgp.Options, mrai int64, wa
 	fmt.Printf("policy=%-8s quiesced=%-5v messages=%-7d flaps=%-6d\n",
 		pol, quiesced, c.Sent, c.Flaps)
 	fmt.Println(ibgp.CountersLine(c))
+	if fl := ibgp.FaultsLine(c); fl != "" {
+		fmt.Println(fl)
+	}
 	printBest(sys, n.BestAll())
 	if !quiesced {
 		os.Exit(2)

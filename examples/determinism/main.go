@@ -62,7 +62,7 @@ func main() {
 	agree := 0
 	const trials = 20
 	for seed := int64(1); seed <= trials; seed++ {
-		sim := ibgp.NewSim(sys, ibgp.Modified, ibgp.Options{}, ibgp.RandomDelay(seed, 1, 50))
+		sim := ibgp.NewSim(sys, ibgp.Modified, ibgp.Options{}, ibgp.MustRandomDelay(seed, 1, 50))
 		sim.InjectAll()
 		res := sim.Run(0)
 		if res.Quiesced && res.Best[RR1] == base.Final.Best[RR1] && res.Best[RR2] == base.Final.Best[RR2] {

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/explore"
+	"repro/internal/faults"
 	"repro/internal/figures"
 	"repro/internal/forwarding"
 	"repro/internal/msgsim"
@@ -286,6 +287,12 @@ const (
 	MRAIDeferred   = router.MRAIDeferred
 	Injected       = router.Injected
 	Withdrawn      = router.Withdrawn
+	PeerDown       = router.PeerDown
+	PeerUp         = router.PeerUp
+	FaultDrop      = router.FaultDrop
+	FaultDuplicate = router.FaultDuplicate
+	FaultDelay     = router.FaultDelay
+	FaultReorder   = router.FaultReorder
 )
 
 // NewSim creates a message-level simulator; inject routes with InjectAll
@@ -297,8 +304,17 @@ func NewSim(sys *System, policy Policy, opts Options, delay DelayFunc) *Sim {
 // ConstantDelay returns a fixed-delay model.
 func ConstantDelay(d int64) DelayFunc { return msgsim.ConstantDelay(d) }
 
-// RandomDelay returns a seeded uniform delay model on [min, max].
-func RandomDelay(seed, min, max int64) DelayFunc { return msgsim.RandomDelay(seed, min, max) }
+// RandomDelay returns a seeded uniform delay model on [min, max]; a
+// reversed or negative range is rejected at construction.
+func RandomDelay(seed, min, max int64) (DelayFunc, error) {
+	return msgsim.RandomDelay(seed, min, max)
+}
+
+// MustRandomDelay is RandomDelay for ranges known valid at the call site;
+// it panics on a bad range.
+func MustRandomDelay(seed, min, max int64) DelayFunc {
+	return msgsim.MustRandomDelay(seed, min, max)
+}
 
 // TCPNetwork runs the AS as concurrent speakers over loopback TCP.
 type TCPNetwork = speaker.Network
@@ -306,4 +322,24 @@ type TCPNetwork = speaker.Network
 // NewTCPNetwork assembles (without starting) a TCP speaker network.
 func NewTCPNetwork(sys *System, policy Policy, opts Options) *TCPNetwork {
 	return speaker.New(sys, policy, opts)
+}
+
+// Deterministic fault injection (package faults): seeded plans of
+// wire-level fault fates — drop, duplicate, reorder, delay, session reset
+// — installed on either substrate with SetFaults before the run.
+type (
+	// FaultPlan is a deterministic fault schedule; same plan, same fates.
+	FaultPlan = faults.Plan
+	// FaultReset schedules one session teardown and reopen.
+	FaultReset = faults.Reset
+)
+
+// ParseFaultSpec parses the -faults CLI syntax, e.g.
+// "seed=7,drop=0.05,dup=0.02,delay=0.2,maxdelay=30,reset=0-1@100+50,horizon=600".
+func ParseFaultSpec(spec string) (*FaultPlan, error) { return faults.ParseSpec(spec) }
+
+// RandomFaultPlan derives a pure fault plan from a seed for an n-router
+// system (cfg bounds the intensity; see faults.RandomConfig).
+func RandomFaultPlan(seed int64, n int, cfg faults.RandomConfig) (*FaultPlan, error) {
+	return faults.RandomPlan(seed, n, cfg)
 }

@@ -77,7 +77,7 @@ func TestFacadeSchedules(t *testing.T) {
 
 func TestFacadeSim(t *testing.T) {
 	fig := Fig14()
-	s := NewSim(fig.Sys, Modified, Options{}, RandomDelay(1, 1, 9))
+	s := NewSim(fig.Sys, Modified, Options{}, MustRandomDelay(1, 1, 9))
 	s.InjectAll()
 	res := s.Run(0)
 	if !res.Quiesced {

@@ -44,6 +44,14 @@ type SeedResult struct {
 	Messages         int `json:"messages,omitempty"`
 	Flaps            int `json:"flaps,omitempty"`
 	Deferrals        int `json:"deferrals,omitempty"`
+
+	// Chaos fields (fault-injection job): fault plans checked on this seed
+	// and how many satisfied each invariant; Quiesced and Messages above
+	// are shared with the fuzz fields.
+	ChaosPlans   int `json:"chaos_plans,omitempty"`
+	Reconverged  int `json:"reconverged,omitempty"`
+	LoopFree     int `json:"loop_free,omitempty"`
+	LedgerBroken int `json:"ledger_broken,omitempty"`
 }
 
 // maxExamples bounds the counterexample seed lists carried in an
@@ -103,6 +111,16 @@ type Aggregate struct {
 	Messages        int `json:"messages,omitempty"`
 	Flaps           int `json:"flaps,omitempty"`
 	Deferrals       int `json:"deferrals,omitempty"`
+
+	// Chaos statistics (fault-injection jobs only). ChaosViolations counts
+	// seeds where any invariant failed on any plan; examples carry the
+	// first offending seeds.
+	ChaosPlans      int     `json:"chaos_plans,omitempty"`
+	Reconverged     int     `json:"reconverged,omitempty"`
+	LoopFree        int     `json:"loop_free,omitempty"`
+	LedgerBroken    int     `json:"ledger_broken,omitempty"`
+	ChaosViolations int     `json:"chaos_violations,omitempty"`
+	ChaosExamples   []int64 `json:"chaos_examples,omitempty"`
 }
 
 // newAggregate seeds the header fields; fold fills the rest.
@@ -169,6 +187,18 @@ func (a *Aggregate) fold(r SeedResult, hist map[int]int) {
 	a.Messages += r.Messages
 	a.Flaps += r.Flaps
 	a.Deferrals += r.Deferrals
+	a.ChaosPlans += r.ChaosPlans
+	a.Reconverged += r.Reconverged
+	a.LoopFree += r.LoopFree
+	a.LedgerBroken += r.LedgerBroken
+	if r.ChaosPlans > 0 &&
+		(r.Reconverged < r.ChaosPlans || r.LoopFree < r.ChaosPlans ||
+			r.Quiesced < r.ChaosPlans || r.LedgerBroken > 0) {
+		a.ChaosViolations++
+		if len(a.ChaosExamples) < maxExamples {
+			a.ChaosExamples = append(a.ChaosExamples, r.Seed)
+		}
+	}
 }
 
 // finish materialises the histogram buckets in ascending size order.
@@ -212,6 +242,10 @@ func (a *Aggregate) String() string {
 		if a.Schedules > 0 {
 			fmt.Fprintf(&b, "  fuzz: %d/%d schedules quiesced, %d timing-dependent seeds, %d messages, %d flaps, %d deferrals\n",
 				a.Quiesced, a.Schedules, a.TimingDependent, a.Messages, a.Flaps, a.Deferrals)
+		}
+		if a.ChaosPlans > 0 {
+			fmt.Fprintf(&b, "  chaos: %d plans — %d quiesced, %d reconverged, %d loop-free, %d ledger-broken; %d violating seeds\n",
+				a.ChaosPlans, a.Quiesced, a.Reconverged, a.LoopFree, a.LedgerBroken, a.ChaosViolations)
 		}
 	}
 	return b.String()

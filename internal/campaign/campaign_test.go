@@ -263,6 +263,42 @@ func TestFuzzJobDeterminism(t *testing.T) {
 	}
 }
 
+// TestChaosJobShardAndWorkerIndependence: the chaos aggregate must be
+// byte-identical no matter the shard count — fault fates are hashed from
+// the plan seed, never drawn from shared RNG state, so the whole record is
+// a function of the seed range.
+func TestChaosJobShardAndWorkerIndependence(t *testing.T) {
+	job := ChaosJob{Params: testParams, Plans: 2, MaxEvents: 50000}
+	var want *Aggregate
+	var wantJSON []byte
+	for _, shards := range []int{1, 4} {
+		agg, err := Run(context.Background(), job, Config{Shards: shards, Start: 1, Seeds: 10})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		got := mustJSON(t, agg)
+		if wantJSON == nil {
+			want, wantJSON = agg, got
+			continue
+		}
+		if string(got) != string(wantJSON) {
+			t.Errorf("shards=%d changed the chaos aggregate:\n%s\nwant:\n%s", shards, got, wantJSON)
+		}
+	}
+	if want.ChaosPlans == 0 || want.Messages == 0 {
+		t.Fatalf("chaos campaign did no work: %s", want)
+	}
+	// The invariant itself: every plan on every convergent seed reconverged
+	// loop-free with a closed ledger. Generator rejects surface as Err
+	// records, never as invariant violations.
+	if want.ChaosViolations != 0 || want.LedgerBroken != 0 {
+		t.Fatalf("chaos invariants violated: %s (examples %v)", want, want.ChaosExamples)
+	}
+	if want.Reconverged != want.ChaosPlans || want.LoopFree != want.ChaosPlans {
+		t.Fatalf("plans=%d reconverged=%d loopfree=%d", want.ChaosPlans, want.Reconverged, want.LoopFree)
+	}
+}
+
 // TestFig13JobSmoke classifies a few crossed-family draws; the known
 // counterexample seed must be flagged (cf. the pinned figures.Fig13 seed).
 func TestFig13JobSmoke(t *testing.T) {

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/chaos"
 	"repro/internal/explore"
+	"repro/internal/faults"
 	"repro/internal/msgsim"
 	"repro/internal/protocol"
 	"repro/internal/selection"
@@ -250,6 +252,106 @@ func (j FuzzJob) fill() FuzzJob {
 	return j
 }
 
+// ChaosJob is the fault-injection workload: generate one random system per
+// seed, derive several fault schedules from the seed, and check the chaos
+// invariants on each — re-convergence to the fault-free configuration,
+// loop-freedom, ledger closure. Fault plans come from faults.RandomPlan and
+// the checks run on the deterministic msgsim substrate, so the whole record
+// is a pure function of the seed and aggregates are byte-identical across
+// shard and worker counts.
+type ChaosJob struct {
+	// Params selects the random family (workload.Generate).
+	Params workload.Params
+	// Policy is the advertisement policy under test. The zero value
+	// (Classic) is coerced to Modified: the re-convergence invariant is a
+	// property of policies with a convergence guarantee, and classic I-BGP
+	// has none. Set Walton or Adaptive explicitly to chaos-test those.
+	Policy protocol.Policy
+	// Plans is the number of fault schedules per topology seed (default 3).
+	Plans int
+	// Faults is the fault intensity; the zero value gets moderate defaults
+	// (drop 0.1, duplicate 0.05, reorder 0.05, delay 0.2, 2 resets,
+	// horizon 500).
+	Faults faults.RandomConfig
+	// MaxEvents bounds each simulation (default 200000).
+	MaxEvents int
+}
+
+func (j ChaosJob) Name() string { return "chaos" }
+
+func (j ChaosJob) Describe() string {
+	return fmt.Sprintf("%+v policy=%v plans=%d faults=%+v", j.Params, j.Policy, j.Plans, j.Faults)
+}
+
+func (j ChaosJob) fill() ChaosJob {
+	if j.Policy == 0 {
+		j.Policy = protocol.Modified
+	}
+	if j.Plans <= 0 {
+		j.Plans = 3
+	}
+	zero := faults.RandomConfig{}
+	if j.Faults == zero {
+		j.Faults = faults.RandomConfig{
+			Drop: 0.1, Duplicate: 0.05, Reorder: 0.05, Delay: 0.2,
+			MaxExtraDelay: 15, Resets: 2, Horizon: 500,
+		}
+	}
+	if j.MaxEvents <= 0 {
+		j.MaxEvents = 200000
+	}
+	return j
+}
+
+func (j ChaosJob) Run(ctx context.Context, seed int64, m *Meter) SeedResult {
+	j = j.fill()
+	res := SeedResult{Seed: seed}
+	sys, err := workload.Generate(j.Params, seed)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Nodes = sys.N()
+	for i := 0; i < j.Plans; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		// Plan seeds are derived from the topology seed so the record is a
+		// function of the seed alone, like FuzzJob's delay seeds.
+		planSeed := seed*int64(j.Plans) + int64(i)
+		plan, err := faults.RandomPlan(planSeed, sys.N(), j.Faults)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		rep, err := chaos.CheckSim(sys, chaos.Config{
+			Policy: j.Policy, Plan: plan,
+			DelaySeed: planSeed + 1, MaxEvents: j.MaxEvents,
+		})
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.ChaosPlans++
+		res.Messages += int(rep.Counters.Sent)
+		res.Flaps += int(rep.Counters.Flaps)
+		m.Steps.Add(rep.Counters.Sent)
+		if rep.Quiesced {
+			res.Quiesced++
+		}
+		if rep.Reconverged {
+			res.Reconverged++
+		}
+		if rep.LoopFree {
+			res.LoopFree++
+		}
+		if !rep.LedgerClosed {
+			res.LedgerBroken++
+		}
+	}
+	return res
+}
+
 func (j FuzzJob) Run(ctx context.Context, seed int64, m *Meter) SeedResult {
 	j = j.fill()
 	res := SeedResult{Seed: seed}
@@ -265,8 +367,9 @@ func (j FuzzJob) Run(ctx context.Context, seed int64, m *Meter) SeedResult {
 			break
 		}
 		// Delay seeds are derived from the topology seed so the whole
-		// record is a function of the seed alone.
-		delay := msgsim.RandomDelay(seed*int64(j.Schedules)+int64(i), 1, j.MaxDelay)
+		// record is a function of the seed alone. fill() guarantees a
+		// valid [1, MaxDelay] range, so construction cannot fail.
+		delay := msgsim.MustRandomDelay(seed*int64(j.Schedules)+int64(i), 1, j.MaxDelay)
 		sim := msgsim.New(sys, j.Policy, selection.Options{}, delay)
 		sim.SetMRAI(j.MRAI)
 		sim.InjectAll()

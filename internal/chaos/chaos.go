@@ -1,0 +1,257 @@
+// Package chaos checks the fault-horizon invariants of the modified
+// protocol: under any fault schedule that eventually ceases — drops,
+// duplicates, reorders, delays, session resets — modified I-BGP must
+// re-converge to the unique configuration of Lemma 7.4 that a fault-free
+// run reaches, withdrawn routes must be flushed everywhere (RFC 4271 §8.2
+// / Lemma 7.6), the resulting forwarding plane must be loop-free, and the
+// transport's quiescence ledger must balance. It runs the same check on
+// both substrates: the discrete-event simulator (deterministic, fit for
+// campaigns) and the TCP speakers (wall clock, fit for smoke tests).
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/faults"
+	"repro/internal/forwarding"
+	"repro/internal/msgsim"
+	"repro/internal/protocol"
+	"repro/internal/router"
+	"repro/internal/selection"
+	"repro/internal/speaker"
+	"repro/internal/topology"
+)
+
+// Config parameterises one invariant check.
+type Config struct {
+	// Policy is the advertisement policy under test (default Modified).
+	Policy protocol.Policy
+	// Opts are the route-selection options, shared with the reference run.
+	Opts selection.Options
+	// Plan is the fault schedule; nil checks the fault-free baseline.
+	Plan *faults.Plan
+	// DelaySeed seeds the msgsim random per-message delay model; 0 uses
+	// constant unit delay.
+	DelaySeed int64
+	// MaxDelay bounds the random delays when DelaySeed != 0 (default 10).
+	MaxDelay int64
+	// MaxEvents bounds the msgsim run (default 200000).
+	MaxEvents int
+	// Withdraw lists E-BGP routes withdrawn mid-run, exercising the
+	// flush-everywhere invariant under faults; WithdrawAt is the virtual
+	// tick (msgsim) or millisecond (TCP) of the withdrawal.
+	Withdraw   []bgp.PathID
+	WithdrawAt int64
+	// Timeout and Settle drive speaker.WaitQuiesce on the TCP substrate
+	// (defaults 15s / 150ms).
+	Timeout, Settle time.Duration
+}
+
+func (c Config) fill() Config {
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = 200000
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 10
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 15 * time.Second
+	}
+	if c.Settle <= 0 {
+		c.Settle = 150 * time.Millisecond
+	}
+	return c
+}
+
+// Report is the outcome of one check.
+type Report struct {
+	// Quiesced: the faulted run reached rest within its budget.
+	Quiesced bool
+	// Reconverged: every router's best route equals the fault-free
+	// reference configuration (Lemma 7.4).
+	Reconverged bool
+	// WithdrawnFlushed: no router's candidate set retains a withdrawn
+	// route (vacuously true without withdrawals).
+	WithdrawnFlushed bool
+	// LoopFree: the forwarding plane implied by the final configuration
+	// has no loops (Lemmas 7.6/7.7).
+	LoopFree bool
+	// LedgerClosed: Sent == Received + Rejected + Dropped at rest — every
+	// message handed to the transport is accounted for.
+	LedgerClosed bool
+	// Best is the final best path per router; Reference the fault-free
+	// configuration it is compared against.
+	Best, Reference []bgp.PathID
+	// Counters snapshots the shared operational counters at the end.
+	Counters router.Snapshot
+}
+
+// OK reports whether every invariant held.
+func (r Report) OK() bool {
+	return r.Quiesced && r.Reconverged && r.WithdrawnFlushed && r.LoopFree && r.LedgerClosed
+}
+
+// Explain renders the first violated invariant, or "ok".
+func (r Report) Explain() string {
+	switch {
+	case !r.Quiesced:
+		return fmt.Sprintf("did not quiesce: %d messages outstanding",
+			r.Counters.Sent-r.Counters.Received-r.Counters.Rejected-r.Counters.Dropped)
+	case !r.Reconverged:
+		return fmt.Sprintf("re-converged to %v, reference %v", r.Best, r.Reference)
+	case !r.WithdrawnFlushed:
+		return "a withdrawn route survives in some candidate set"
+	case !r.LoopFree:
+		return fmt.Sprintf("forwarding plane has a loop under %v", r.Best)
+	case !r.LedgerClosed:
+		return fmt.Sprintf("ledger broken: sent=%d received=%d rejected=%d dropped=%d",
+			r.Counters.Sent, r.Counters.Received, r.Counters.Rejected, r.Counters.Dropped)
+	default:
+		return "ok"
+	}
+}
+
+// Reference computes the fault-free configuration the faulted runs must
+// re-converge to: a deterministic constant-delay msgsim run, including the
+// config's withdrawals. Both substrates share the router core, so one
+// reference serves both. It fails when the baseline itself does not
+// quiesce — the caller is then checking a policy with no stable outcome
+// (classic on an oscillator) and should use Oscillates instead.
+func Reference(sys *topology.System, cfg Config) ([]bgp.PathID, error) {
+	cfg = cfg.fill()
+	s := msgsim.New(sys, cfg.Policy, cfg.Opts, msgsim.ConstantDelay(1))
+	s.InjectAll()
+	for _, id := range cfg.Withdraw {
+		s.WithdrawAt(cfg.WithdrawAt, id)
+	}
+	res := s.Run(cfg.MaxEvents)
+	if !res.Quiesced {
+		return nil, fmt.Errorf("chaos: fault-free baseline did not quiesce in %d events (policy %v)",
+			cfg.MaxEvents, cfg.Policy)
+	}
+	return res.Best, nil
+}
+
+// CheckSim runs one faulted discrete-event simulation and checks every
+// invariant against the fault-free reference. It is a pure function of
+// (sys, cfg) — no wall clock, no shared RNG — so campaign jobs can fan it
+// out and still aggregate byte-identically.
+func CheckSim(sys *topology.System, cfg Config) (Report, error) {
+	cfg = cfg.fill()
+	ref, err := Reference(sys, cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	delay := msgsim.ConstantDelay(1)
+	if cfg.DelaySeed != 0 {
+		delay, err = msgsim.RandomDelay(cfg.DelaySeed, 1, cfg.MaxDelay)
+		if err != nil {
+			return Report{}, err
+		}
+	}
+	s := msgsim.New(sys, cfg.Policy, cfg.Opts, delay)
+	if err := s.SetFaults(cfg.Plan); err != nil {
+		return Report{}, err
+	}
+	s.InjectAll()
+	for _, id := range cfg.Withdraw {
+		s.WithdrawAt(cfg.WithdrawAt, id)
+	}
+	res := s.Run(cfg.MaxEvents)
+	best := make([]bgp.PathID, sys.N())
+	possible := make([]bgp.PathSet, sys.N())
+	for u := 0; u < sys.N(); u++ {
+		best[u] = s.Best(bgp.NodeID(u))
+		possible[u] = s.Possible(bgp.NodeID(u))
+	}
+	return grade(sys, cfg, ref, best, possible, res.Quiesced, s.Counters()), nil
+}
+
+// CheckTCP runs the same invariant check over the TCP speakers: real
+// connections, real teardowns on reset fates, wall-clock fault horizon.
+func CheckTCP(sys *topology.System, cfg Config) (Report, error) {
+	cfg = cfg.fill()
+	ref, err := Reference(sys, cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	n := speaker.New(sys, cfg.Policy, cfg.Opts)
+	if err := n.SetFaults(cfg.Plan); err != nil {
+		return Report{}, err
+	}
+	if err := n.Start(); err != nil {
+		return Report{}, err
+	}
+	defer n.Stop()
+	start := time.Now()
+	n.InjectAll()
+	if len(cfg.Withdraw) > 0 {
+		if wait := time.Duration(cfg.WithdrawAt)*time.Millisecond - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		for _, id := range cfg.Withdraw {
+			n.Withdraw(id)
+		}
+	}
+	quiesced := n.WaitQuiesce(cfg.Timeout, cfg.Settle)
+	best := make([]bgp.PathID, sys.N())
+	possible := make([]bgp.PathSet, sys.N())
+	for u := 0; u < sys.N(); u++ {
+		best[u] = n.Best(bgp.NodeID(u))
+		possible[u] = n.Speaker(bgp.NodeID(u)).Possible()
+	}
+	return grade(sys, cfg, ref, best, possible, quiesced, n.Counters()), nil
+}
+
+// Oscillates runs one faulted simulation of a policy expected to have no
+// stable outcome and reports whether it indeed failed to quiesce within
+// the budget — the guard that fault injection does not mask the paper's
+// Figure 1(a)/Figure 3 pathologies.
+func Oscillates(sys *topology.System, cfg Config) (bool, error) {
+	cfg = cfg.fill()
+	delay := msgsim.ConstantDelay(1)
+	if cfg.DelaySeed != 0 {
+		var err error
+		delay, err = msgsim.RandomDelay(cfg.DelaySeed, 1, cfg.MaxDelay)
+		if err != nil {
+			return false, err
+		}
+	}
+	s := msgsim.New(sys, cfg.Policy, cfg.Opts, delay)
+	if err := s.SetFaults(cfg.Plan); err != nil {
+		return false, err
+	}
+	s.InjectAll()
+	return !s.Run(cfg.MaxEvents).Quiesced, nil
+}
+
+// grade scores one finished run against the invariants.
+func grade(sys *topology.System, cfg Config, ref, best []bgp.PathID,
+	possible []bgp.PathSet, quiesced bool, c router.Snapshot) Report {
+	rep := Report{
+		Quiesced:         quiesced,
+		Reconverged:      true,
+		WithdrawnFlushed: true,
+		Best:             best,
+		Reference:        ref,
+		Counters:         c,
+	}
+	for u := range best {
+		if best[u] != ref[u] {
+			rep.Reconverged = false
+			break
+		}
+	}
+	for _, id := range cfg.Withdraw {
+		for u := range possible {
+			if possible[u].Contains(id) {
+				rep.WithdrawnFlushed = false
+			}
+		}
+	}
+	rep.LoopFree = forwarding.NewPlane(sys, protocol.Snapshot{Best: best}).LoopFree()
+	rep.LedgerClosed = c.Sent == c.Received+c.Rejected+c.Dropped
+	return rep
+}

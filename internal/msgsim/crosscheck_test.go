@@ -29,7 +29,7 @@ func TestQuickModifiedSubstrateAgreement(t *testing.T) {
 		if pres.Outcome != protocol.Converged {
 			return false
 		}
-		s := New(sys, protocol.Modified, selection.Options{}, RandomDelay(seed+99, 1, 30))
+		s := New(sys, protocol.Modified, selection.Options{}, MustRandomDelay(seed+99, 1, 30))
 		s.InjectAll()
 		mres := s.Run(0)
 		if !mres.Quiesced {
@@ -59,7 +59,7 @@ func TestQuickClassicQuiescentStatesAreModelStable(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s := New(sys, protocol.Classic, selection.Options{}, RandomDelay(seed+1, 1, 25))
+		s := New(sys, protocol.Classic, selection.Options{}, MustRandomDelay(seed+1, 1, 25))
 		s.InjectAll()
 		res := s.Run(30000)
 		if !res.Quiesced {

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 
 	"repro/internal/bgp"
+	"repro/internal/faults"
 	"repro/internal/protocol"
 	"repro/internal/router"
 	"repro/internal/selection"
@@ -39,14 +40,31 @@ func ConstantDelay(d int64) DelayFunc {
 }
 
 // RandomDelay returns a seeded DelayFunc with delays uniform in [min, max].
-func RandomDelay(seed, min, max int64) DelayFunc {
-	rng := rand.New(rand.NewSource(seed))
-	return func(bgp.NodeID, bgp.NodeID, int) int64 {
-		if max <= min {
-			return min
-		}
-		return min + rng.Int63n(max-min+1)
+// The range is validated at construction: a reversed or negative range
+// returns a clear error here instead of surfacing as a scheduler panic (or
+// a silently degenerate delay model) thousands of events into a run.
+func RandomDelay(seed, min, max int64) (DelayFunc, error) {
+	if min < 0 {
+		return nil, fmt.Errorf("msgsim: RandomDelay min %d is negative", min)
 	}
+	if max < min {
+		return nil, fmt.Errorf("msgsim: RandomDelay range [%d, %d] is reversed", min, max)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	span := max - min + 1
+	return func(bgp.NodeID, bgp.NodeID, int) int64 {
+		return min + rng.Int63n(span)
+	}, nil
+}
+
+// MustRandomDelay is RandomDelay for ranges known valid at the call site;
+// it panics on a bad range (the regexp.MustCompile convention).
+func MustRandomDelay(seed, min, max int64) DelayFunc {
+	d, err := RandomDelay(seed, min, max)
+	if err != nil {
+		panic(err)
+	}
+	return d
 }
 
 // event is a queued simulator event.
@@ -57,6 +75,15 @@ type event struct {
 	// message fields: one wire-encoded UPDATE in flight on from -> to.
 	from, to bgp.NodeID
 	payload  []byte
+	// epoch is the session incarnation the message was sent under; a reset
+	// bumps the session epoch, so stale in-flight messages are recognised
+	// and lost at delivery time (TCP loses them with the connection).
+	epoch int
+	// sseq is the per-session send sequence number. A message overtaken by
+	// a reordered later message is recognised as stale at delivery and
+	// discarded, so a session's last applied message always carries the
+	// sender's newest state (the property Lemma 7.4 re-convergence needs).
+	sseq int
 	// external fields
 	prefix uint32
 	path   bgp.PathID
@@ -71,6 +98,12 @@ const (
 	// evFlush fires when a session's MRAI window reopens: the sender
 	// re-evaluates what it owes that peer and sends the coalesced diff.
 	evFlush
+	// evPeerDown / evPeerUp fire at one endpoint (from) of a scheduled
+	// session reset: the session to peer `to` dies or re-establishes. Each
+	// reset schedules one pair per direction so both routers flush and
+	// later re-advertise.
+	evPeerDown
+	evPeerUp
 )
 
 type eventHeap []*event
@@ -100,12 +133,24 @@ type Sim struct {
 	routers  []*router.Router
 	counters router.Counters
 	delay    DelayFunc
+	plan     *faults.Plan
 
 	queue eventHeap
 	seq   int
 
 	sentSeq map[[2]bgp.NodeID]int   // per-session sent counter
 	lastArr map[[2]bgp.NodeID]int64 // per-session last delivery time (FIFO clamp)
+
+	sessEpoch map[[2]bgp.NodeID]int  // undirected session incarnation
+	sessDown  map[[2]bgp.NodeID]bool // undirected session liveness
+	delivSeq  map[[2]bgp.NodeID]int  // per-session highest delivered sseq
+	// touched records, per direction and per (prefix, path), the highest
+	// sseq of a delivered update that announced or withdrew that route.
+	// It sequences reordered deliveries at route granularity: an update
+	// overtaken in flight is a *diff*, not a superset of its successors,
+	// so its entries must still apply except where a newer delivered
+	// update already spoke for the same route.
+	touched map[[2]bgp.NodeID]map[[2]uint32]int
 
 	now      int64
 	events   int
@@ -130,10 +175,14 @@ func NewMulti(systems map[uint32]*topology.System, policy protocol.Policy, opts 
 		panic("msgsim: " + err.Error())
 	}
 	s := &Sim{
-		dom:     dom,
-		delay:   delay,
-		sentSeq: map[[2]bgp.NodeID]int{},
-		lastArr: map[[2]bgp.NodeID]int64{},
+		dom:       dom,
+		delay:     delay,
+		sentSeq:   map[[2]bgp.NodeID]int{},
+		lastArr:   map[[2]bgp.NodeID]int64{},
+		sessEpoch: map[[2]bgp.NodeID]int{},
+		sessDown:  map[[2]bgp.NodeID]bool{},
+		delivSeq:  map[[2]bgp.NodeID]int{},
+		touched:   map[[2]bgp.NodeID]map[[2]uint32]int{},
 	}
 	s.render = trace.NewRouterEventRenderer(dom.Base(), dom.Multi())
 	for u := 0; u < dom.Base().N(); u++ {
@@ -169,6 +218,54 @@ func (s *Sim) SetMRAI(d int64) {
 	}
 }
 
+// dropRTO is the virtual-tick retransmission backoff after a fault-dropped
+// message: the sender re-runs refresh and re-sends what it still owes.
+const dropRTO = 17
+
+// skey canonicalises an undirected session.
+func skey(a, b bgp.NodeID) [2]bgp.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]bgp.NodeID{a, b}
+}
+
+// SetFaults installs a fault plan: per-message fates are applied at every
+// simulated hop and the plan's session resets are scheduled as PeerDown /
+// PeerUp event pairs. Call it before Run, after the plan is final; resets
+// naming sessions absent from the topology are ignored (they can occur in
+// RandomPlan-derived schedules and would be no-ops anyway).
+func (s *Sim) SetFaults(p *faults.Plan) error {
+	if p == nil {
+		s.plan = nil
+		return nil
+	}
+	if err := p.Validate(s.dom.Base().N()); err != nil {
+		return err
+	}
+	s.plan = p
+	sys := s.dom.Base()
+	for _, r := range p.Resets {
+		adjacent := false
+		for _, w := range sys.Peers(r.A) {
+			if w == r.B {
+				adjacent = true
+				break
+			}
+		}
+		if !adjacent {
+			continue
+		}
+		// One event per endpoint and transition, so each router runs its
+		// own flush-and-refresh in the normal event loop.
+		s.push(&event{time: r.At, kind: evPeerDown, from: r.A, to: r.B})
+		s.push(&event{time: r.At, kind: evPeerDown, from: r.B, to: r.A})
+		s.push(&event{time: r.At + r.Downtime, kind: evPeerUp, from: r.A, to: r.B})
+		s.push(&event{time: r.At + r.Downtime, kind: evPeerUp, from: r.B, to: r.A})
+	}
+	return nil
+}
+
 // InjectAt schedules the E-BGP injection of a prefix-0 path.
 func (s *Sim) InjectAt(time int64, id bgp.PathID) { s.InjectPrefixAt(time, 0, id) }
 
@@ -201,7 +298,8 @@ func (s *Sim) push(e *event) {
 }
 
 // sendFrom builds the transport callback for router u: encode the UPDATE
-// to wire bytes, pick the delay, clamp to FIFO order and enqueue delivery.
+// to wire bytes, decide its fault fate, pick the delay, clamp to FIFO
+// order (unless a Reorder fate exempts it) and enqueue delivery.
 func (s *Sim) sendFrom(u bgp.NodeID) router.SendFunc {
 	return func(w bgp.NodeID, upd *wire.Update) (int64, error) {
 		data, err := wire.Encode(*upd)
@@ -214,16 +312,62 @@ func (s *Sim) sendFrom(u bgp.NodeID) router.SendFunc {
 		key := [2]bgp.NodeID{u, w}
 		n := s.sentSeq[key]
 		s.sentSeq[key] = n + 1
+		fate := s.plan.Fate(s.now, u, w, n)
+		if fate.Drop {
+			// The erroring send tells the core "handed to the transport but
+			// lost": it counts the drop and rewinds its Adj-RIB-Out memory
+			// so the diff stays owed. The retry flush below re-runs the
+			// sender's refresh one RTO later — the retransmission loop TCP
+			// gives a real speaker — and the re-send draws a fresh fate, so
+			// once the plan's horizon passes the message gets through.
+			s.counters.FaultDrops.Add(1)
+			s.routerEvent(router.Event{Kind: router.FaultDrop, Time: s.now, Node: u, Peer: w})
+			s.push(&event{time: s.now + dropRTO, kind: evFlush, from: u, to: w})
+			return -1, fmt.Errorf("msgsim: fault plan dropped message %d on %s -> %s",
+				n, s.dom.Base().Name(u), s.dom.Base().Name(w))
+		}
 		d := s.delay(u, w, n)
 		if d < 0 {
 			d = 0
 		}
+		if fate.ExtraDelay > 0 {
+			d += fate.ExtraDelay
+			s.counters.FaultDelays.Add(1)
+			s.routerEvent(router.Event{Kind: router.FaultDelay, Time: s.now,
+				Node: u, Peer: w, ReadyAt: fate.ExtraDelay})
+		}
 		at := s.now + d
-		if last := s.lastArr[key]; at < last {
+		if fate.Reorder {
+			// Exempt from the FIFO clamp: this message may overtake earlier
+			// ones still in flight. Their stale payloads are discarded at
+			// delivery (see apply), as a sequence-numbered transport would.
+			s.counters.FaultReorders.Add(1)
+			s.routerEvent(router.Event{Kind: router.FaultReorder, Time: s.now, Node: u, Peer: w})
+		} else if last := s.lastArr[key]; at < last {
 			at = last // FIFO: never overtake an earlier message
 		}
-		s.lastArr[key] = at
-		s.push(&event{time: at, kind: evMessage, from: u, to: w, payload: data})
+		if at > s.lastArr[key] {
+			s.lastArr[key] = at
+		}
+		ep := s.sessEpoch[skey(u, w)]
+		s.push(&event{time: at, kind: evMessage, from: u, to: w, payload: data, epoch: ep, sseq: n})
+		if fate.Duplicate {
+			// The copy is one more message on the wire: count it as Sent so
+			// the quiescence ledger (Sent == Received+Rejected+Dropped)
+			// still balances when it is applied or lost. It barriers the
+			// FIFO clamp like any message, so no later, newer state can be
+			// overtaken by the stale copy.
+			dupAt := at + fate.DupDelay
+			if last := s.lastArr[key]; dupAt < last {
+				dupAt = last
+			}
+			s.lastArr[key] = dupAt
+			s.counters.Sent.Add(1)
+			s.counters.FaultDups.Add(1)
+			s.routerEvent(router.Event{Kind: router.FaultDuplicate, Time: s.now,
+				Node: u, Peer: w, ReadyAt: fate.DupDelay})
+			s.push(&event{time: dupAt, kind: evMessage, from: u, to: w, payload: data, epoch: ep, sseq: n})
+		}
 		return at, nil
 	}
 }
@@ -258,7 +402,7 @@ func (s *Sim) target(ev *event) bgp.NodeID {
 	switch ev.kind {
 	case evMessage:
 		return ev.to
-	case evFlush:
+	case evFlush, evPeerDown, evPeerUp:
 		return ev.from
 	default:
 		return s.dom.System(ev.prefix).Exit(ev.path).ExitPoint
@@ -275,6 +419,13 @@ func (s *Sim) apply(ev *event) {
 		p := s.dom.System(ev.prefix).Exit(ev.path)
 		s.routers[p.ExitPoint].WithdrawExternal(s.now, ev.prefix, ev.path)
 	case evMessage:
+		k := skey(ev.from, ev.to)
+		if s.sessDown[k] || ev.epoch != s.sessEpoch[k] {
+			// Lost with the connection: a session reset kills every message
+			// still in flight on it (RFC 4271 §8.2 semantics).
+			s.counters.Dropped.Add(1)
+			return
+		}
 		msg, _, err := wire.Decode(ev.payload)
 		if err != nil {
 			panic(fmt.Sprintf("msgsim: decode on %s -> %s: %v",
@@ -284,12 +435,93 @@ func (s *Sim) apply(ev *event) {
 		if !ok {
 			panic(fmt.Sprintf("msgsim: non-UPDATE message %T in flight", msg))
 		}
+		dk := [2]bgp.NodeID{ev.from, ev.to}
+		if ev.sseq < s.delivSeq[dk] {
+			// Overtaken by a reordered later message. The update is a diff,
+			// not a superset of its successors, so it cannot simply be
+			// discarded: a route it announces that no later update touched
+			// would be lost forever while the run still quiesces (breaking
+			// re-convergence to the Lemma 7.4 configuration). Instead it is
+			// sequenced at route granularity: only the entries a newer
+			// delivered update already spoke for are dropped, so the final
+			// receiver state matches the sender's Adj-RIB-Out whatever the
+			// delivery order.
+			upd = s.filterStale(dk, ev.sseq, upd)
+		} else {
+			s.delivSeq[dk] = ev.sseq
+			s.recordTouched(dk, ev.sseq, &upd)
+		}
 		if err := s.routers[ev.to].ApplyUpdate(s.now, ev.from, &upd); err != nil {
 			panic(fmt.Sprintf("msgsim: apply at %s: %v", s.dom.Base().Name(ev.to), err))
 		}
 	case evFlush:
 		s.routers[ev.from].Reopen(ev.to)
+	case evPeerDown:
+		k := skey(ev.from, ev.to)
+		if !s.sessDown[k] {
+			// First endpoint of the pair bumps the shared session state:
+			// the epoch invalidates in-flight messages, Resets counts the
+			// reset once per session rather than once per end.
+			s.sessDown[k] = true
+			s.sessEpoch[k]++
+			s.counters.Resets.Add(1)
+			delete(s.lastArr, [2]bgp.NodeID{ev.from, ev.to})
+			delete(s.lastArr, [2]bgp.NodeID{ev.to, ev.from})
+		}
+		s.routers[ev.from].PeerDown(s.now, ev.to)
+	case evPeerUp:
+		s.sessDown[skey(ev.from, ev.to)] = false
+		s.routers[ev.from].PeerUp(s.now, ev.to)
 	}
+}
+
+// touchMap returns the per-route sequence map for one direction, creating
+// it on first use.
+func (s *Sim) touchMap(dk [2]bgp.NodeID) map[[2]uint32]int {
+	m := s.touched[dk]
+	if m == nil {
+		m = map[[2]uint32]int{}
+		s.touched[dk] = m
+	}
+	return m
+}
+
+// recordTouched marks every route upd speaks for as last touched by sseq n.
+func (s *Sim) recordTouched(dk [2]bgp.NodeID, n int, upd *wire.Update) {
+	m := s.touchMap(dk)
+	for _, wd := range upd.Withdrawn {
+		m[[2]uint32{wd.Prefix, wd.PathID}] = n
+	}
+	for _, rec := range upd.Announced {
+		m[[2]uint32{rec.Prefix, rec.PathID}] = n
+	}
+}
+
+// filterStale sequences an overtaken update at route granularity: entries
+// a newer delivered update already touched are dropped (the newer word
+// stands), the rest survive and claim their routes at sequence n. Fully
+// superseded messages shrink to an empty update, which still counts as
+// received when applied, keeping the message ledger closed.
+func (s *Sim) filterStale(dk [2]bgp.NodeID, n int, upd wire.Update) wire.Update {
+	m := s.touchMap(dk)
+	out := wire.Update{}
+	for _, wd := range upd.Withdrawn {
+		key := [2]uint32{wd.Prefix, wd.PathID}
+		if m[key] > n {
+			continue
+		}
+		m[key] = n
+		out.Withdrawn = append(out.Withdrawn, wd)
+	}
+	for _, rec := range upd.Announced {
+		key := [2]uint32{rec.Prefix, rec.PathID}
+		if m[key] > n {
+			continue
+		}
+		m[key] = n
+		out.Announced = append(out.Announced, rec)
+	}
+	return out
 }
 
 // Run processes events until quiescence or until maxEvents events have been

@@ -55,7 +55,7 @@ func TestFig1aClassicNeverQuiesces(t *testing.T) {
 func TestFig1aModifiedQuiesces(t *testing.T) {
 	f := figures.Fig1a()
 	for seed := int64(1); seed <= 5; seed++ {
-		s := New(f.Sys, protocol.Modified, selection.Options{}, RandomDelay(seed, 1, 20))
+		s := New(f.Sys, protocol.Modified, selection.Options{}, MustRandomDelay(seed, 1, 20))
 		s.InjectAll()
 		res := s.Run(0)
 		if !res.Quiesced {
@@ -274,7 +274,7 @@ func TestFig3StaggeredInjectionEchoOscillation(t *testing.T) {
 	// Break the coincidence: jittered delays eventually land the pair in
 	// the same instant, the batch coalesces, and the oscillation dies —
 	// which is exactly why the paper calls these oscillations transient.
-	s2 := New(f.Sys, protocol.Classic, selection.Options{}, RandomDelay(3, 40, 60))
+	s2 := New(f.Sys, protocol.Classic, selection.Options{}, MustRandomDelay(3, 40, 60))
 	for _, name := range []string{"r2", "r3", "r4", "r5"} {
 		s2.InjectAt(0, f.Path(name))
 	}
@@ -311,7 +311,7 @@ func TestModifiedDeterministicAcrossRandomDelays(t *testing.T) {
 	} {
 		var ref []bgp.PathID
 		for seed := int64(1); seed <= 10; seed++ {
-			s := New(tc.fig.Sys, protocol.Modified, selection.Options{}, RandomDelay(seed, 1, 50))
+			s := New(tc.fig.Sys, protocol.Modified, selection.Options{}, MustRandomDelay(seed, 1, 50))
 			s.InjectAll()
 			res := s.Run(0)
 			if !res.Quiesced {
@@ -453,17 +453,45 @@ func TestDelayHelpers(t *testing.T) {
 	if c(0, 1, 0) != 7 {
 		t.Fatal("ConstantDelay wrong")
 	}
-	r := RandomDelay(1, 3, 9)
+	r, err := RandomDelay(1, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 100; i++ {
 		d := r(0, 1, i)
 		if d < 3 || d > 9 {
 			t.Fatalf("RandomDelay out of range: %d", d)
 		}
 	}
-	deg := RandomDelay(1, 5, 5)
+	deg, err := RandomDelay(1, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if deg(0, 1, 0) != 5 {
 		t.Fatal("degenerate range should return min")
 	}
+}
+
+// TestRandomDelayValidatesRange is the regression test for the reversed /
+// negative range bug: both must fail loudly at construction instead of
+// panicking deep in the scheduler (rand.Int63n on a non-positive span).
+func TestRandomDelayValidatesRange(t *testing.T) {
+	if _, err := RandomDelay(1, 9, 3); err == nil {
+		t.Fatal("reversed range accepted")
+	} else if !strings.Contains(err.Error(), "reversed") {
+		t.Fatalf("reversed-range error not descriptive: %v", err)
+	}
+	if _, err := RandomDelay(1, -2, 5); err == nil {
+		t.Fatal("negative min accepted")
+	} else if !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("negative-min error not descriptive: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRandomDelay did not panic on a bad range")
+		}
+	}()
+	MustRandomDelay(1, 9, 3)
 }
 
 func TestFIFOOrderingPreserved(t *testing.T) {
@@ -471,7 +499,7 @@ func TestFIFOOrderingPreserved(t *testing.T) {
 	// overtake each other; outcome equals the constant-delay outcome on a
 	// deterministic convergent figure.
 	f := figures.Fig14()
-	jitter := RandomDelay(42, 0, 100)
+	jitter := MustRandomDelay(42, 0, 100)
 	s := New(f.Sys, protocol.Classic, selection.Options{}, jitter)
 	s.InjectAll()
 	res := s.Run(0)

@@ -113,7 +113,7 @@ func TestMultiPrefixSimAdaptiveQuiescesUnderJitter(t *testing.T) {
 	// must deliver under every delay pattern is quiescence of the hot
 	// prefix into some stable state, with the quiet prefix untouched.
 	for seed := int64(1); seed <= 8; seed++ {
-		s, nodes := twoPrefixSim(t, protocol.Adaptive, RandomDelay(seed, 1, 20))
+		s, nodes := twoPrefixSim(t, protocol.Adaptive, MustRandomDelay(seed, 1, 20))
 		s.InjectAll()
 		res := s.Run(50000)
 		if !res.Quiesced {

@@ -120,6 +120,27 @@ func (r *RIB) ApplyUpdate(w bgp.NodeID, announce, withdraw []bgp.PathID) {
 	}
 }
 
+// PeerDown implements the RFC 4271 §8.2 session-loss semantics for peer w:
+// every route learned from w is deleted from its Adj-RIB-In, and the
+// advertisement memory toward w is forgotten — after the session
+// re-establishes, the whole current target set must be re-advertised
+// because the peer rebuilt its own state from scratch. It returns the
+// number of routes flushed. Callers re-run the decision process next
+// (Refresh/RecomputeBest); until then Possible may still surface the dead
+// routes of other peers, never w's.
+func (r *RIB) PeerDown(w bgp.NodeID) (flushed int) {
+	in, ok := r.adjIn[w]
+	if !ok {
+		return 0
+	}
+	flushed = in.Len()
+	in.Clear()
+	if last, ok := r.lastSent[w]; ok {
+		last.Clear()
+	}
+	return flushed
+}
+
 // learnedFrom computes the selection tie-break attribution of path p.
 func (r *RIB) learnedFrom(p bgp.ExitPath) int {
 	if p.TieBreak >= 0 {
@@ -289,6 +310,17 @@ func (r *RIB) CommitSend(w bgp.NodeID, target bgp.PathSet) (announce, withdraw [
 	}
 	*last = target
 	return announce, withdraw
+}
+
+// RestoreLastSent rewinds the advertisement memory toward w to prev (the
+// LastSent value captured before a CommitSend whose transmission failed):
+// the diff stays owed, so a later refresh re-sends it. This is the
+// repair BGP gets from TCP retransmission — without it, one lost UPDATE
+// would strand the peer's Adj-RIB-In stale forever.
+func (r *RIB) RestoreLastSent(w bgp.NodeID, prev bgp.PathSet) {
+	if last, ok := r.lastSent[w]; ok {
+		*last = prev
+	}
 }
 
 // Refresh recomputes the best route and returns the UPDATEs owed to peers.

@@ -52,7 +52,7 @@ func TestLemma73SubstratesAgreeOnEveryFigure(t *testing.T) {
 			// Discrete-event simulator, several delay seeds.
 			for seed := int64(1); seed <= 4; seed++ {
 				s := msgsim.New(f.Sys, protocol.Modified, selection.Options{},
-					msgsim.RandomDelay(seed, 1, 40))
+					msgsim.MustRandomDelay(seed, 1, 40))
 				s.InjectAll()
 				res := s.Run(0)
 				if !res.Quiesced {

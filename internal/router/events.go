@@ -25,6 +25,24 @@ const (
 	Injected
 	// Withdrawn fires on an E-BGP route withdrawal at this router.
 	Withdrawn
+	// PeerDown fires when a session dies: every route learned from Peer
+	// has been flushed (RFC 4271 §8.2) and Flushed counts them.
+	PeerDown
+	// PeerUp fires when a session re-establishes; the next refresh
+	// re-advertises the full target set to Peer.
+	PeerUp
+	// FaultDrop fires when the fault layer loses an UPDATE in transit
+	// (Node -> Peer). The message stays counted in Sent and is added to
+	// Dropped.
+	FaultDrop
+	// FaultDuplicate fires when the fault layer delivers an UPDATE twice.
+	FaultDuplicate
+	// FaultDelay fires when the fault layer adds transit delay to an
+	// UPDATE; ReadyAt carries the extra delay.
+	FaultDelay
+	// FaultReorder fires when the fault layer lets an UPDATE overtake
+	// earlier messages on its session (msgsim only).
+	FaultReorder
 )
 
 // String names the kind for logs and renderers.
@@ -42,6 +60,18 @@ func (k EventKind) String() string {
 		return "Injected"
 	case Withdrawn:
 		return "Withdrawn"
+	case PeerDown:
+		return "PeerDown"
+	case PeerUp:
+		return "PeerUp"
+	case FaultDrop:
+		return "FaultDrop"
+	case FaultDuplicate:
+		return "FaultDuplicate"
+	case FaultDelay:
+		return "FaultDelay"
+	case FaultReorder:
+		return "FaultReorder"
 	default:
 		return "Unknown"
 	}
@@ -68,8 +98,11 @@ type Event struct {
 	OldBest, NewBest bgp.PathID
 	// Update is the wire message of UpdateSent / UpdateReceived.
 	Update *wire.Update
-	// ReadyAt is when the MRAI window reopens (MRAIDeferred).
+	// ReadyAt is when the MRAI window reopens (MRAIDeferred) or the extra
+	// transit delay of a FaultDelay.
 	ReadyAt int64
+	// Flushed counts the routes deleted by a PeerDown across all prefixes.
+	Flushed int
 	// ArriveAt is the transport-reported delivery time of an UpdateSent
 	// event; negative when the transport cannot know it (TCP).
 	ArriveAt int64
@@ -83,37 +116,63 @@ type Event struct {
 type Counters struct {
 	// Flaps counts best-route changes across all routers and prefixes.
 	Flaps atomic.Int64
-	// Sent counts UPDATEs delivered to the transport; a message whose send
-	// fails is moved from Sent to Dropped.
+	// Sent counts UPDATEs handed to the transport, delivered or not; a
+	// message whose send fails stays in Sent and is also counted Dropped.
 	Sent atomic.Int64
 	// Received counts UPDATEs fully applied.
 	Received atomic.Int64
 	// Deferrals counts MRAI-gated send postponements.
 	Deferrals atomic.Int64
-	// Dropped counts UPDATEs a transport failed to deliver (dead session).
+	// Dropped counts UPDATEs lost in transit: sends a transport refused
+	// (dead session), messages the fault layer dropped, and in-flight
+	// messages lost to a session reset. Sent is never decremented for
+	// them, so quiescence accounting is Sent == Received+Rejected+Dropped.
 	Dropped atomic.Int64
 	// Rejected counts inbound UPDATEs failing decode-side validation.
 	Rejected atomic.Int64
+	// Resets counts session reset events (one per session, not per end).
+	Resets atomic.Int64
+	// Flushed counts routes deleted by PeerDown flushes across all
+	// routers and prefixes.
+	Flushed atomic.Int64
+	// FaultDrops, FaultDups, FaultDelays and FaultReorders count
+	// per-message fault-layer actions; FaultDrops is a subset of Dropped.
+	FaultDrops    atomic.Int64
+	FaultDups     atomic.Int64
+	FaultDelays   atomic.Int64
+	FaultReorders atomic.Int64
 }
 
 // Snapshot is a plain-value copy of Counters at one instant.
 type Snapshot struct {
-	Flaps     int64
-	Sent      int64
-	Received  int64
-	Deferrals int64
-	Dropped   int64
-	Rejected  int64
+	Flaps         int64
+	Sent          int64
+	Received      int64
+	Deferrals     int64
+	Dropped       int64
+	Rejected      int64
+	Resets        int64
+	Flushed       int64
+	FaultDrops    int64
+	FaultDups     int64
+	FaultDelays   int64
+	FaultReorders int64
 }
 
 // Snapshot reads every counter once.
 func (c *Counters) Snapshot() Snapshot {
 	return Snapshot{
-		Flaps:     c.Flaps.Load(),
-		Sent:      c.Sent.Load(),
-		Received:  c.Received.Load(),
-		Deferrals: c.Deferrals.Load(),
-		Dropped:   c.Dropped.Load(),
-		Rejected:  c.Rejected.Load(),
+		Flaps:         c.Flaps.Load(),
+		Sent:          c.Sent.Load(),
+		Received:      c.Received.Load(),
+		Deferrals:     c.Deferrals.Load(),
+		Dropped:       c.Dropped.Load(),
+		Rejected:      c.Rejected.Load(),
+		Resets:        c.Resets.Load(),
+		Flushed:       c.Flushed.Load(),
+		FaultDrops:    c.FaultDrops.Load(),
+		FaultDups:     c.FaultDups.Load(),
+		FaultDelays:   c.FaultDelays.Load(),
+		FaultReorders: c.FaultReorders.Load(),
 	}
 }

@@ -135,6 +135,10 @@ type Router struct {
 	nextSend map[bgp.NodeID]int64
 	pending  map[bgp.NodeID]bool
 
+	// down marks peers whose session is currently dead: their updates are
+	// discarded and the refresh fan-out skips them until PeerUp.
+	down map[bgp.NodeID]bool
+
 	counters *Counters
 	sink     func(Event)
 }
@@ -148,6 +152,7 @@ func (d *Domain) NewRouter(id bgp.NodeID, counters *Counters) *Router {
 		ribs:     map[uint32]*rib.RIB{},
 		nextSend: map[bgp.NodeID]int64{},
 		pending:  map[bgp.NodeID]bool{},
+		down:     map[bgp.NodeID]bool{},
 		counters: counters,
 	}
 	for _, p := range d.prefixes {
@@ -204,8 +209,14 @@ func (r *Router) WithdrawExternal(now int64, prefix uint32, id bgp.PathID) {
 
 // ApplyUpdate merges one received UPDATE into the per-prefix RIBs after
 // decode-side validation against the domain's topologies. Invalid updates
-// are rejected whole: counted, reported, and not applied.
+// are rejected whole: counted, reported, and not applied. Updates from a
+// peer whose session is down are a transport bug backstop: discarded and
+// counted as dropped (the session that carried them no longer exists).
 func (r *Router) ApplyUpdate(now int64, from bgp.NodeID, upd *wire.Update) error {
+	if r.down[from] {
+		r.counters.Dropped.Add(1)
+		return fmt.Errorf("router: update from down peer %d", from)
+	}
 	if err := upd.Validate(r.bounds); err != nil {
 		r.counters.Rejected.Add(1)
 		return err
@@ -261,11 +272,53 @@ func (r *Router) Refresh(now int64, send SendFunc) []Deferral {
 // calls it when a Deferral fires, immediately before Refresh.
 func (r *Router) Reopen(w bgp.NodeID) { r.pending[w] = false }
 
+// PeerDown records the death of the session to peer w (RFC 4271 §8.2):
+// every route learned from w is flushed from all per-prefix RIBs, the
+// advertisement memory toward w is forgotten (a reopened session starts
+// from an empty peer), and the per-session MRAI state is reset. The
+// transport calls Refresh next so withdrawals of the flushed routes
+// propagate to the surviving peers. Idempotent; returns the number of
+// routes flushed.
+func (r *Router) PeerDown(now int64, w bgp.NodeID) int {
+	if r.down[w] {
+		return 0
+	}
+	r.down[w] = true
+	flushed := 0
+	for _, prefix := range r.dom.prefixes {
+		flushed += r.ribs[prefix].PeerDown(w)
+	}
+	delete(r.nextSend, w)
+	r.pending[w] = false
+	r.counters.Flushed.Add(int64(flushed))
+	r.emit(Event{Kind: PeerDown, Time: now, Node: r.id, Peer: w, Flushed: flushed})
+	return flushed
+}
+
+// PeerUp records the re-establishment of the session to peer w. The next
+// Refresh re-advertises the full current target set (PeerDown cleared the
+// last-sent memory), restoring the peer's state as BGP route refresh
+// would. Idempotent.
+func (r *Router) PeerUp(now int64, w bgp.NodeID) {
+	if !r.down[w] {
+		return
+	}
+	delete(r.down, w)
+	r.emit(Event{Kind: PeerUp, Time: now, Node: r.id, Peer: w})
+}
+
+// PeerIsDown reports whether the session to w is currently dead.
+func (r *Router) PeerIsDown(w bgp.NodeID) bool { return r.down[w] }
+
 // flushPeer sends the UPDATE owed to one peer if the session's MRAI window
 // is open; otherwise it records (once) that the transport must call back
 // when the window reopens. A failed send is counted as dropped and does
-// not stop the fan-out to later peers.
+// not stop the fan-out to later peers. Down peers are skipped entirely —
+// what they are owed is recomputed from scratch at PeerUp.
 func (r *Router) flushPeer(now int64, w bgp.NodeID, send SendFunc, defs []Deferral) []Deferral {
+	if r.down[w] {
+		return defs
+	}
 	owed := false
 	for _, prefix := range r.dom.prefixes {
 		rb := r.ribs[prefix]
@@ -287,8 +340,10 @@ func (r *Router) flushPeer(now int64, w bgp.NodeID, send SendFunc, defs []Deferr
 		return defs
 	}
 	upd := &wire.Update{}
+	prevSent := make([]bgp.PathSet, 0, len(r.dom.prefixes))
 	for _, prefix := range r.dom.prefixes {
 		rb := r.ribs[prefix]
+		prevSent = append(prevSent, rb.LastSent(w))
 		ann, wd := rb.CommitSend(w, rb.TargetFor(w))
 		for _, id := range wd {
 			upd.Withdrawn = append(upd.Withdrawn, wire.WithdrawnRoute{Prefix: prefix, PathID: uint32(id)})
@@ -304,11 +359,21 @@ func (r *Router) flushPeer(now int64, w bgp.NodeID, send SendFunc, defs []Deferr
 	}
 	r.nextSend[w] = now + r.mrai
 	// Sent is incremented before the transport writes so a concurrent
-	// quiescence probe never sees the receipt before the send.
+	// quiescence probe never sees the receipt before the send. A refused
+	// send stays in Sent and is additionally counted in Dropped: the
+	// quiescence ledger is Sent == Received + Rejected + Dropped, so a
+	// probe between the two increments reads the conservative
+	// (non-quiescent) side.
 	r.counters.Sent.Add(1)
 	arriveAt, err := send(w, upd)
 	if err != nil {
-		r.counters.Sent.Add(-1)
+		// The message is lost, so the advertisement memory must rewind:
+		// the diff stays owed and a later refresh re-sends it — the same
+		// repair TCP retransmission gives a real speaker. Without the
+		// rewind one lost UPDATE would leave the peer stale forever.
+		for i, prefix := range r.dom.prefixes {
+			r.ribs[prefix].RestoreLastSent(w, prevSent[i])
+		}
 		r.counters.Dropped.Add(1)
 		return defs
 	}

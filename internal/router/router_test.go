@@ -70,8 +70,10 @@ func TestDroppedSessionContinuesFanout(t *testing.T) {
 	if snap.Dropped != 1 {
 		t.Fatalf("Dropped = %d, want 1", snap.Dropped)
 	}
-	if snap.Sent != int64(len(peers)-1) {
-		t.Fatalf("Sent = %d, want %d", snap.Sent, len(peers)-1)
+	// The quiescence ledger: Sent counts every message handed to the
+	// transport, delivered or not; the failed one shows up in Dropped.
+	if snap.Sent != int64(len(peers)) {
+		t.Fatalf("Sent = %d, want %d (delivered %d + dropped 1)", snap.Sent, len(peers), len(peers)-1)
 	}
 }
 

@@ -19,12 +19,18 @@ import (
 	"time"
 
 	"repro/internal/bgp"
+	"repro/internal/faults"
 	"repro/internal/protocol"
 	"repro/internal/router"
 	"repro/internal/selection"
 	"repro/internal/topology"
 	"repro/internal/wire"
 )
+
+// dropRTO is the retry backoff after a fault-dropped message, mirroring
+// msgsim's virtual-tick RTO: the sender re-runs refresh and re-sends what
+// it still owes, the repair TCP retransmission gives a real speaker.
+const dropRTO = 20 * time.Millisecond
 
 // control is an operator command posted to a speaker's inbox.
 type control struct {
@@ -35,24 +41,49 @@ type control struct {
 
 // inbound is one unit of work for a speaker's main loop.
 type inbound struct {
-	from  bgp.NodeID
-	upd   *wire.Update
-	ctl   *control
-	flush *bgp.NodeID // MRAI window reopened for this peer
+	from     bgp.NodeID
+	upd      *wire.Update
+	ctl      *control
+	flush    *bgp.NodeID // MRAI window reopened for this peer
+	peerDown *bgp.NodeID // session to this peer died (reset)
+	peerUp   *bgp.NodeID // session to this peer re-established
 }
 
-// session is one established I-BGP TCP session.
+// outMsg is one UPDATE queued for a session's write loop, with the
+// earliest wall-clock instant it may hit the wire (fault-delay fates push
+// it into the future; later messages queue behind it, preserving FIFO).
+type outMsg struct {
+	upd wire.Update
+	at  time.Time
+}
+
+// session is one incarnation of an established I-BGP TCP session. A fault
+// reset tears the incarnation down (stop closed, conn closed) and the
+// reopen installs a fresh one; the written/got meters of the dead
+// incarnation reconcile its in-flight losses into the Dropped counter.
 type session struct {
 	peer bgp.NodeID
 	conn net.Conn
-	wmu  sync.Mutex
-	w    *wire.Writer
+	outQ chan outMsg
+
+	stop      chan struct{} // closed when this incarnation is torn down
+	readDone  chan struct{} // closed when readLoop exits
+	writeDone chan struct{} // closed when writeLoop exits
+
+	seq     int          // outbound UPDATE sequence; guarded by Speaker.mu
+	written atomic.Int64 // UPDATEs successfully written to the wire
+	got     atomic.Int64 // UPDATEs read off the wire by the receiver
 }
 
-func (s *session) write(msg wire.Message) error {
-	s.wmu.Lock()
-	defer s.wmu.Unlock()
-	return s.w.WriteMessage(msg)
+func newSession(peer bgp.NodeID, conn net.Conn) *session {
+	return &session{
+		peer:      peer,
+		conn:      conn,
+		outQ:      make(chan outMsg, 1024),
+		stop:      make(chan struct{}),
+		readDone:  make(chan struct{}),
+		writeDone: make(chan struct{}),
+	}
 }
 
 // Speaker is one running I-BGP speaker: a router core plus its TCP
@@ -106,15 +137,18 @@ func (s *Speaker) Upgraded(prefix uint32) bool {
 type Network struct {
 	dom      *router.Domain
 	speakers []*Speaker
+	plan     *faults.Plan
 
 	counters router.Counters
-	timers   atomic.Int64 // outstanding MRAI reopen timers
+	timers   atomic.Int64 // outstanding timers: MRAI reopens, drop retries, resets
 
 	started time.Time // transport clock epoch, set by Start
 
 	obsMu    sync.Mutex
 	observer func(router.Event)
 
+	stopMu   sync.Mutex // serialises Stop against session reopens
+	stopped  bool
 	stopOnce sync.Once
 }
 
@@ -178,6 +212,23 @@ func (n *Network) SetMRAI(ms int64) {
 	for _, sp := range n.speakers {
 		sp.core.SetMRAI(ms)
 	}
+}
+
+// SetFaults installs a fault plan, validated against the topology: drop /
+// duplicate / delay fates apply per UPDATE at the session layer (TCP
+// cannot reorder, so Reorder fates are ignored on this substrate) and the
+// plan's session resets tear real TCP connections down and redial them.
+// Call before Start. Times are milliseconds of the transport clock.
+func (n *Network) SetFaults(p *faults.Plan) error {
+	if p == nil {
+		n.plan = nil
+		return nil
+	}
+	if err := p.Validate(n.dom.Base().N()); err != nil {
+		return err
+	}
+	n.plan = p
+	return nil
 }
 
 // Observe registers a typed-event callback. The callback is invoked from
@@ -288,8 +339,7 @@ func (n *Network) Start() error {
 				dialErr = err
 				break
 			}
-			w := wire.NewWriter(conn)
-			if err := w.WriteMessage(wire.Open{
+			if err := wire.NewWriter(conn).WriteMessage(wire.Open{
 				Version: wire.Version,
 				BGPID:   uint32(sys.BGPID(bgp.NodeID(u))),
 				NodeID:  uint32(u),
@@ -298,7 +348,7 @@ func (n *Network) Start() error {
 				dialErr = err
 				break
 			}
-			n.speakers[u].sessions[v] = &session{peer: v, conn: conn, w: w}
+			n.speakers[u].sessions[v] = newSession(v, conn)
 		}
 	}
 	acceptWG.Wait()
@@ -308,9 +358,7 @@ func (n *Network) Start() error {
 			dialErr = a.err
 		}
 		if a.conn != nil {
-			n.speakers[a.to].sessions[a.peer] = &session{
-				peer: a.peer, conn: a.conn, w: wire.NewWriter(a.conn),
-			}
+			n.speakers[a.to].sessions[a.peer] = newSession(a.peer, a.conn)
 		}
 	}
 	if dialErr != nil {
@@ -331,14 +379,36 @@ func (n *Network) Start() error {
 	for _, sp := range n.speakers {
 		sp.start()
 	}
+	n.scheduleResets()
 	return nil
 }
 
-// start launches the speaker's reader and main-loop goroutines.
+// scheduleResets arms one timer per fault-plan session reset. Resets
+// naming sessions absent from the topology are skipped (RandomPlan can
+// derive them; they would be no-ops). Each timer stays accounted in the
+// timers gauge until its session has reopened, so Quiesced never reports
+// a network with a scheduled reset outstanding as settled.
+func (n *Network) scheduleResets() {
+	if n.plan == nil {
+		return
+	}
+	sys := n.dom.Base()
+	for _, r := range n.plan.Resets {
+		if !sys.HasSession(r.A, r.B) {
+			continue
+		}
+		r := r
+		n.timers.Add(1)
+		time.AfterFunc(time.Duration(r.At)*time.Millisecond, func() { n.resetSession(r) })
+	}
+}
+
+// start launches the speaker's per-session loops and the main loop.
 func (s *Speaker) start() {
 	for _, sess := range s.sessions {
-		s.wg.Add(1)
+		s.wg.Add(2)
 		go s.readLoop(sess)
+		go s.writeLoop(sess)
 	}
 	s.wg.Add(1)
 	go s.mainLoop()
@@ -346,6 +416,7 @@ func (s *Speaker) start() {
 
 func (s *Speaker) readLoop(sess *session) {
 	defer s.wg.Done()
+	defer close(sess.readDone)
 	r := wire.NewReader(sess.conn)
 	for {
 		msg, err := r.ReadMessage()
@@ -354,6 +425,7 @@ func (s *Speaker) readLoop(sess *session) {
 		}
 		switch m := msg.(type) {
 		case wire.Update:
+			sess.got.Add(1)
 			select {
 			case s.inbox <- inbound{from: sess.peer, upd: &m}:
 			case <-s.done:
@@ -362,6 +434,66 @@ func (s *Speaker) readLoop(sess *session) {
 		case wire.Keepalive, wire.Open:
 			// Liveness / duplicate OPEN: ignored.
 		case wire.Notification:
+			return
+		}
+	}
+}
+
+// writeLoop owns the session's outbound wire. Messages go out in queue
+// order, each no earlier than its fault-delay release time. Once a write
+// fails — or the incarnation is stopped — every remaining message is
+// counted into Dropped so the quiescence ledger (Sent == Received +
+// Rejected + Dropped) stays balanced without it.
+func (s *Speaker) writeLoop(sess *session) {
+	defer s.wg.Done()
+	defer close(sess.writeDone)
+	w := wire.NewWriter(sess.conn)
+	dead := false
+	for {
+		var m outMsg
+		select {
+		case <-s.done:
+			return
+		case <-sess.stop:
+			s.drainOutQ(sess)
+			return
+		case m = <-sess.outQ:
+		}
+		if wait := time.Until(m.at); wait > 0 && !dead {
+			t := time.NewTimer(wait)
+			select {
+			case <-t.C:
+			case <-s.done:
+				t.Stop()
+				return
+			case <-sess.stop:
+				t.Stop()
+				s.net.counters.Dropped.Add(1) // m itself
+				s.drainOutQ(sess)
+				return
+			}
+		}
+		if dead {
+			s.net.counters.Dropped.Add(1)
+			continue
+		}
+		if err := w.WriteMessage(m.upd); err != nil {
+			dead = true
+			s.net.counters.Dropped.Add(1)
+			continue
+		}
+		sess.written.Add(1)
+	}
+}
+
+// drainOutQ counts every message still queued on a torn-down session as
+// dropped; they never reached the wire.
+func (s *Speaker) drainOutQ(sess *session) {
+	for {
+		select {
+		case <-sess.outQ:
+			s.net.counters.Dropped.Add(1)
+		default:
 			return
 		}
 	}
@@ -411,42 +543,100 @@ func (s *Speaker) handle(in inbound) {
 		}
 	case in.flush != nil:
 		s.core.Reopen(*in.flush)
+	case in.peerDown != nil:
+		s.core.PeerDown(now, *in.peerDown)
+	case in.peerUp != nil:
+		s.core.PeerUp(now, *in.peerUp)
 	}
 }
 
 // refresh runs the core refresh — recompute routes, send owed UPDATEs —
 // and schedules wall-clock timers for any MRAI deferrals the core reports.
+// The timers gauge is bumped while the core lock is still held: a Quiesced
+// probe racing the lock release must already see the owed flush, or it
+// could report a settled network with an UPDATE still pending (the old
+// scheduleFlush/Close ordering race).
 func (s *Speaker) refresh() {
 	s.mu.Lock()
 	defs := s.core.Refresh(s.net.now(), s.send)
+	s.net.timers.Add(int64(len(defs)))
 	s.mu.Unlock()
 	for _, d := range defs {
 		s.scheduleFlush(d)
 	}
 }
 
-// send implements router.SendFunc over the TCP sessions. Arrival time is
-// unknown on a real network, so it reports -1.
+// send implements router.SendFunc over the TCP sessions, deciding each
+// message's fault fate at the session layer. Always called with s.mu held
+// (from handle/refresh via core.Refresh), which also guards s.sessions and
+// sess.seq. Arrival time is unknown on a real network, so it reports -1.
 func (s *Speaker) send(w bgp.NodeID, upd *wire.Update) (int64, error) {
 	sess := s.sessions[w]
 	if sess == nil {
+		// Session currently torn down (reset downtime): the core rewinds
+		// and counts the drop; the PeerUp refresh re-sends what is owed.
 		return -1, fmt.Errorf("speaker: no session to %d", w)
 	}
-	if err := sess.write(*upd); err != nil {
-		return -1, err // session torn down; core counts the drop
+	seq := sess.seq
+	sess.seq++
+	now := time.Now()
+	fate := s.net.plan.Fate(s.net.now(), s.id, w, seq)
+	if fate.Drop {
+		// Same contract as a dead-session write: the core rewinds its
+		// Adj-RIB-Out memory and counts the drop; the RTO retry re-runs
+		// refresh so the owed diff is re-sent under a fresh fate.
+		s.net.counters.FaultDrops.Add(1)
+		s.net.dispatch(router.Event{Kind: router.FaultDrop, Time: s.net.now(), Node: s.id, Peer: w})
+		s.scheduleRetry(w)
+		return -1, fmt.Errorf("speaker: fault plan dropped message %d to %d", seq, w)
+	}
+	at := now
+	if fate.ExtraDelay > 0 {
+		at = now.Add(time.Duration(fate.ExtraDelay) * time.Millisecond)
+		s.net.counters.FaultDelays.Add(1)
+		s.net.dispatch(router.Event{Kind: router.FaultDelay, Time: s.net.now(),
+			Node: s.id, Peer: w, ReadyAt: fate.ExtraDelay})
+	}
+	// Reorder fates are ignored: the TCP byte stream cannot reorder.
+	if !enqueueOut(sess, *upd, at) {
+		s.scheduleRetry(w)
+		return -1, fmt.Errorf("speaker: outbound queue to %d full", w)
+	}
+	if fate.Duplicate {
+		// The copy is one more message on the wire; counting it as Sent
+		// keeps the quiescence ledger balanced when it lands (Received) or
+		// dies with the session (Dropped).
+		if enqueueOut(sess, *upd, at.Add(time.Duration(fate.DupDelay)*time.Millisecond)) {
+			s.net.counters.Sent.Add(1)
+			s.net.counters.FaultDups.Add(1)
+			s.net.dispatch(router.Event{Kind: router.FaultDuplicate, Time: s.net.now(),
+				Node: s.id, Peer: w, ReadyAt: fate.DupDelay})
+		}
 	}
 	return -1, nil
 }
 
+// enqueueOut hands one UPDATE to the session's write loop without ever
+// blocking the core: a full queue reports failure and the caller falls
+// back to the drop-and-retry path.
+func enqueueOut(sess *session, upd wire.Update, at time.Time) bool {
+	select {
+	case sess.outQ <- outMsg{upd: upd, at: at}:
+		return true
+	default:
+		return false
+	}
+}
+
 // scheduleFlush arms a timer that reopens the MRAI window for one peer and
-// re-runs the refresh through the speaker's main loop.
+// re-runs the refresh through the speaker's main loop. The caller has
+// already accounted the timer in the timers gauge (see refresh).
 func (s *Speaker) scheduleFlush(d router.Deferral) {
 	delay := time.Duration(d.ReadyAt-s.net.now()) * time.Millisecond
 	if delay < 0 {
 		delay = 0
 	}
 	peer := d.To
-	s.net.timers.Add(1)
 	time.AfterFunc(delay, func() {
 		select {
 		case s.inbox <- inbound{flush: &peer}:
@@ -454,6 +644,136 @@ func (s *Speaker) scheduleFlush(d router.Deferral) {
 		}
 		s.net.timers.Add(-1)
 	})
+}
+
+// scheduleRetry arms the RTO timer after a failed or fault-dropped send:
+// one more refresh through the main loop, which re-sends whatever the core
+// still owes the peer.
+func (s *Speaker) scheduleRetry(peer bgp.NodeID) {
+	p := peer
+	s.net.timers.Add(1)
+	time.AfterFunc(dropRTO, func() {
+		select {
+		case s.inbox <- inbound{flush: &p}:
+		case <-s.done:
+		}
+		s.net.timers.Add(-1)
+	})
+}
+
+// post delivers one unit of work to the speaker's main loop, giving up if
+// the network is shutting down.
+func (s *Speaker) post(in inbound) {
+	select {
+	case s.inbox <- in:
+	case <-s.done:
+	}
+}
+
+// takeSession removes and returns the live session to peer, or nil if none
+// (already torn down). The caller owns the incarnation exclusively after.
+func (s *Speaker) takeSession(peer bgp.NodeID) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessions[peer]
+	delete(s.sessions, peer)
+	return sess
+}
+
+// installSession inserts a fresh incarnation and starts its loops. Only
+// called while holding Network.stopMu with stopped false, so the wg.Add
+// cannot race Stop's Wait.
+func (s *Speaker) installSession(sess *session) {
+	s.mu.Lock()
+	s.sessions[sess.peer] = sess
+	s.mu.Unlock()
+	s.wg.Add(2)
+	go s.readLoop(sess)
+	go s.writeLoop(sess)
+}
+
+// resetSession executes one fault-plan session reset: tear both directions
+// of the TCP session down, reconcile in-flight losses into Dropped, tell
+// both router cores the peer died (RFC 4271 §8.2 flush), and arm the
+// reopen. The reset's slot in the timers gauge stays held until the reopen
+// completes, so Quiesced cannot report a settled network mid-downtime.
+func (n *Network) resetSession(r faults.Reset) {
+	n.stopMu.Lock()
+	if n.stopped {
+		n.stopMu.Unlock()
+		n.timers.Add(-1)
+		return
+	}
+	sa := n.speakers[r.A].takeSession(r.B)
+	sb := n.speakers[r.B].takeSession(r.A)
+	n.stopMu.Unlock()
+	if sa == nil || sb == nil {
+		// Session already down (overlapping resets in the plan): no-op.
+		n.timers.Add(-1)
+		return
+	}
+	n.counters.Resets.Add(1)
+	close(sa.stop)
+	close(sb.stop)
+	sa.conn.Close()
+	sb.conn.Close()
+	<-sa.readDone
+	<-sa.writeDone
+	<-sb.readDone
+	<-sb.writeDone
+	// Everything written but never read died in the kernel buffers with the
+	// connection; count it so the quiescence ledger stays closed.
+	lost := (sa.written.Load() - sb.got.Load()) + (sb.written.Load() - sa.got.Load())
+	if lost > 0 {
+		n.counters.Dropped.Add(lost)
+	}
+	// Both read loops have drained onto the inboxes, so these controls sort
+	// after every UPDATE of the dead incarnation: the flush cannot be
+	// overwritten by a stale message.
+	n.speakers[r.A].post(inbound{peerDown: &r.B})
+	n.speakers[r.B].post(inbound{peerDown: &r.A})
+	time.AfterFunc(time.Duration(r.Downtime)*time.Millisecond, func() { n.reopenSession(r) })
+}
+
+// reopenSession redials a reset session on a fresh loopback socket and
+// tells both cores the peer is back, which triggers the RFC 4271 full
+// re-advertisement out of the cores' wiped Adj-RIB-Out memory.
+func (n *Network) reopenSession(r faults.Reset) {
+	n.stopMu.Lock()
+	defer n.stopMu.Unlock()
+	defer n.timers.Add(-1)
+	if n.stopped {
+		return
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return // leave the session down; dead sessions still quiesce
+	}
+	type res struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	connA, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		ln.Close()
+		return
+	}
+	rb := <-ch
+	ln.Close()
+	if rb.err != nil {
+		connA.Close()
+		return
+	}
+	// The Network wires both ends itself, so no OPEN exchange is needed.
+	n.speakers[r.A].installSession(newSession(r.B, connA))
+	n.speakers[r.B].installSession(newSession(r.A, rb.conn))
+	n.speakers[r.A].post(inbound{peerUp: &r.B})
+	n.speakers[r.B].post(inbound{peerUp: &r.A})
 }
 
 // Inject delivers an E-BGP route for prefix 0 to its exit point's speaker.
@@ -502,10 +822,14 @@ func (n *Network) InjectAll() {
 }
 
 // Quiesced reports whether no UPDATE is currently unprocessed: everything
-// written has been handled, no MRAI timer is outstanding, and no speaker
-// holds queued work.
+// handed to the transport has been applied, rejected or accounted lost, no
+// timer is outstanding, and no speaker holds queued work. The ledger form
+// matters: comparing Sent against Received alone turns any dead-session
+// loss into a permanent false negative, because a dropped UPDATE is never
+// received — it is counted in Dropped.
 func (n *Network) Quiesced() bool {
-	if n.counters.Sent.Load() != n.counters.Received.Load() {
+	if n.counters.Sent.Load() !=
+		n.counters.Received.Load()+n.counters.Rejected.Load()+n.counters.Dropped.Load() {
 		return false
 	}
 	if n.timers.Load() != 0 {
@@ -564,15 +888,22 @@ func (n *Network) BestAllFor(prefix uint32) []bgp.PathID {
 }
 
 // Stop tears the network down: closes sessions and stops all goroutines.
+// Marking stopped under stopMu first fences out session reopens, so no new
+// incarnation can be installed once teardown begins.
 func (n *Network) Stop() {
 	n.stopOnce.Do(func() {
+		n.stopMu.Lock()
+		n.stopped = true
+		n.stopMu.Unlock()
 		for _, sp := range n.speakers {
 			close(sp.done)
 		}
 		for _, sp := range n.speakers {
+			sp.mu.Lock()
 			for _, sess := range sp.sessions {
 				sess.conn.Close()
 			}
+			sp.mu.Unlock()
 		}
 		for _, sp := range n.speakers {
 			sp.wg.Wait()

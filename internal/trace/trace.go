@@ -184,14 +184,44 @@ func NewRouterEventRenderer(sys *topology.System, multi bool) func(router.Event)
 				body += fmt.Sprintf(" (arrives t=%d)", ev.ArriveAt)
 			}
 			return line(ev.Time, "%s", body)
+		case router.PeerDown:
+			return line(ev.Time, "%s session to %s DOWN, %d routes flushed",
+				sys.Name(ev.Node), sys.Name(ev.Peer), ev.Flushed)
+		case router.PeerUp:
+			return line(ev.Time, "%s session to %s UP, re-advertising",
+				sys.Name(ev.Node), sys.Name(ev.Peer))
+		case router.FaultDrop:
+			return line(ev.Time, "%s -> %s FAULT: update dropped",
+				sys.Name(ev.Node), sys.Name(ev.Peer))
+		case router.FaultDuplicate:
+			return line(ev.Time, "%s -> %s FAULT: update duplicated (+%d)",
+				sys.Name(ev.Node), sys.Name(ev.Peer), ev.ReadyAt)
+		case router.FaultDelay:
+			return line(ev.Time, "%s -> %s FAULT: update delayed +%d",
+				sys.Name(ev.Node), sys.Name(ev.Peer), ev.ReadyAt)
+		case router.FaultReorder:
+			return line(ev.Time, "%s -> %s FAULT: update reordered",
+				sys.Name(ev.Node), sys.Name(ev.Peer))
 		default:
 			return ""
 		}
 	}
 }
 
-// CountersLine renders the shared operational counters of one run.
+// CountersLine renders the shared operational counters of one run. Fault
+// counters live on the separate FaultsLine so fault-free runs keep their
+// historical (golden-tested) line format.
 func CountersLine(c router.Snapshot) string {
 	return fmt.Sprintf("flaps=%-6d sent=%-6d received=%-6d deferrals=%-4d dropped=%-4d rejected=%d",
 		c.Flaps, c.Sent, c.Received, c.Deferrals, c.Dropped, c.Rejected)
+}
+
+// FaultsLine renders the fault-injection counters of one run, or "" when
+// no fault fired (callers skip the line).
+func FaultsLine(c router.Snapshot) string {
+	if c.FaultDrops+c.FaultDups+c.FaultDelays+c.FaultReorders+c.Resets == 0 {
+		return ""
+	}
+	return fmt.Sprintf("faults: dropped=%-4d duplicated=%-4d delayed=%-4d reordered=%-4d resets=%-3d flushed=%d",
+		c.FaultDrops, c.FaultDups, c.FaultDelays, c.FaultReorders, c.Resets, c.Flushed)
 }

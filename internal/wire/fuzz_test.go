@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
@@ -44,6 +45,16 @@ func FuzzDecode(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{'I', 'B', 'G', 'P', 0, 7, 4})
+	// Hand-crafted UPDATEs whose declared record counts disagree with the
+	// body length — truncated, oversized, and maximal lying counts. The
+	// decoder must reject these without panicking or allocating from the
+	// count (see TestDecodeUpdateCountVsBodyMismatch).
+	f.Add(rawMessage(TypeUpdate, updateBody(4, make([]byte, withdrawnSize), 0, nil)))
+	f.Add(rawMessage(TypeUpdate, updateBody(0xffff, nil, 0, nil)))
+	f.Add(rawMessage(TypeUpdate, updateBody(0, nil, 0xffff, nil)))
+	f.Add(rawMessage(TypeUpdate, updateBody(0, nil, 2, make([]byte, 2*routeRecordSize-1))))
+	f.Add(rawMessage(TypeUpdate, updateBody(0, nil, 1, make([]byte, routeRecordSize+5))))
+	f.Add(rawMessage(TypeUpdate, append(binary.BigEndian.AppendUint16(nil, 1), make([]byte, withdrawnSize)...)))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, n, err := Decode(data)
 		if err != nil {

@@ -31,3 +31,7 @@ func NewRouterEventRenderer(sys *System, multi bool) func(RouterEvent) string {
 
 // CountersLine renders the shared operational counters of one run.
 func CountersLine(c OperationalCounters) string { return trace.CountersLine(c) }
+
+// FaultsLine renders the fault-injection counters of one run, or "" when
+// no fault fired.
+func FaultsLine(c OperationalCounters) string { return trace.FaultsLine(c) }
