@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	ibgpcensus [-job census|fig13|fuzz|chaos] [-shards N] [-workers N]
+//	ibgpcensus [-job census|fig13|fuzz|chaos|lint] [-shards N] [-workers N]
 //	           [-seeds N] [-start S] [-params k=v,...] [-max-states N]
 //	           [-schedules N] [-plans N] [-checkpoint FILE] [-resume]
 //	           [-json] [-progress DUR] [-timeout DUR]
@@ -23,12 +23,14 @@
 //	ibgpcensus -seeds 500 -json                      # classic census
 //	ibgpcensus -job fig13 -start 8000 -seeds 2000    # Figure 13 hunt
 //	ibgpcensus -job chaos -seeds 200                 # fault-injection sweep
+//	ibgpcensus -job lint -seeds 500 -max-states 60000   # lint precision/recall
 //	ibgpcensus -seeds 10000 -checkpoint c.jsonl      # checkpointed...
 //	ibgpcensus -seeds 10000 -checkpoint c.jsonl -resume   # ...and resumed
 //
 // -params overrides fields of the job's default family, e.g.
-// "clusters=4,maxmed=2,exits=8" (census/fuzz) or
-// "clusters=4,twoclienton=0,dotted=0.5" (fig13).
+// "clusters=4,maxmed=2,exits=8" (census/fuzz),
+// "clusters=4,twoclienton=0,dotted=0.5" (fig13), or
+// "pops=4,exits=6,maxmed=3" (lint, over the topogen small family).
 package main
 
 import (
@@ -44,12 +46,13 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/cli"
 	"repro/internal/protocol"
+	"repro/internal/topogen"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		jobName    = flag.String("job", "census", "job kind: census, fig13 or fuzz")
+		jobName    = flag.String("job", "census", "job kind: census, fig13, fuzz, chaos or lint")
 		shards     = flag.Int("shards", 0, "worker count (0: GOMAXPROCS); never changes the results, only the wall-clock")
 		seeds      = flag.Int("seeds", 256, "number of consecutive seeds")
 		start      = flag.Int64("start", 1, "first seed")
@@ -94,8 +97,14 @@ func main() {
 			fatal(err)
 		}
 		job = campaign.ChaosJob{Params: p, Plans: *plans}
+	case "lint":
+		spec, err := cli.ParseTopogenSpec(*params, topogen.Small())
+		if err != nil {
+			fatal(err)
+		}
+		job = campaign.LintJob{Spec: spec, MaxStates: *maxStates, Workers: exploreWorkers(*workers)}
 	default:
-		fatal(fmt.Errorf("unknown -job %q (want census, fig13, fuzz or chaos)", *jobName))
+		fatal(fmt.Errorf("unknown -job %q (want census, fig13, fuzz, chaos or lint)", *jobName))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	ibgplint [-json] [-v] [-fail-on none|risk|fail] [-figure NAME|all]
+//	ibgplint [-json] [-v] [-prove] [-fail-on none|risk|fail] [-figure NAME|all]
+//	         [-gen k=v,...] [-seed N] [-gen-out FILE]
 //	         [-confirm N] [-workers N] [topology.json ...]
 //
 // Each input gets a PASS/RISK/FAIL verdict: FAIL for violations of the
@@ -12,6 +13,19 @@
 // oscillation precondition is present (the Section 3 MED/cluster
 // interaction or a cross-cluster dispute cycle), PASS otherwise — with
 // safety certificates explaining why (-v shows them).
+//
+// With -prove, the SAT-backed exact passes run as well: prove-stable
+// decides whether any stable routing exists (UNSAT is a proof of
+// persistent oscillation), prove-wheel whether it is unique. Findings
+// carry decoded witnesses — a replay-verified stable configuration, or a
+// dispute wheel between two of them — printed inline in text mode and in
+// full under -json.
+//
+// With -gen, an ISP-style topology is generated (package topogen; keys
+// regions, rrs, pops, poprrs, clients, ases, exits, maxmed, corecost,
+// accesscost — "-gen default" and "-gen small" select the bundled
+// families) from -seed and linted like any other input; -gen-out writes
+// its JSON for reuse ("-" for stdout).
 //
 // The exit status is 0 unless -fail-on is set: with -fail-on fail the
 // command exits 1 when any input FAILs, with -fail-on risk when any input
@@ -39,6 +53,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/figures"
 	"repro/internal/lint"
+	"repro/internal/topogen"
 	"repro/internal/topology"
 )
 
@@ -46,8 +61,12 @@ func main() {
 	var (
 		asJSON  = flag.Bool("json", false, "emit the reports as JSON")
 		verbose = flag.Bool("v", false, "also print info-level findings (safety certificates)")
+		prove   = flag.Bool("prove", false, "run the SAT-backed exact passes (prove-stable, prove-wheel) and print witnesses")
 		failOn  = flag.String("fail-on", "none", "exit nonzero at this verdict or worse: none, risk or fail")
 		figure  = flag.String("figure", "", "lint a paper figure ("+fmt.Sprint(cli.FigureNames())+") or \"all\"")
+		gen     = flag.String("gen", "", "generate and lint an ISP-style topology (topogen key=value list, or \"default\"/\"small\")")
+		genSeed = flag.Int64("seed", 1, "seed for -gen")
+		genOut  = flag.String("gen-out", "", "write the generated topology's JSON to this file (\"-\" for stdout)")
 		confirm = flag.Int("confirm", 0, "state budget for dynamically confirming RISK verdicts (0: static only)")
 		workers = flag.Int("workers", 1, "goroutines per confirming search (0: GOMAXPROCS); deterministic")
 	)
@@ -68,10 +87,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ibgplint: unknown -fail-on %q (want none, risk or fail)\n", *failOn)
 		os.Exit(2)
 	}
-	if *figure == "" && flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "ibgplint: nothing to lint; pass topology JSON files and/or -figure")
+	if *figure == "" && *gen == "" && flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "ibgplint: nothing to lint; pass topology JSON files, -figure and/or -gen")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	lintSystem, lintSpecFn := lint.LintSystem, lint.LintSpec
+	if *prove {
+		lintSystem, lintSpecFn = lint.ProveSystem, lint.ProveSpec
 	}
 
 	type linted struct {
@@ -83,7 +107,7 @@ func main() {
 		for _, e := range figures.All() {
 			if *figure == "all" || *figure == e.Name {
 				sys := e.Build().Sys
-				inputs = append(inputs, linted{lint.LintSystem("fig"+e.Name, sys), sys})
+				inputs = append(inputs, linted{lintSystem("fig"+e.Name, sys), sys})
 			}
 		}
 		if len(inputs) == 0 {
@@ -91,8 +115,41 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *gen != "" {
+		base := topogen.Default()
+		args := *gen
+		switch args {
+		case "default":
+			args = ""
+		case "small":
+			base, args = topogen.Small(), ""
+		}
+		tspec, err := cli.ParseTopogenSpec(args, base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ibgplint:", err)
+			os.Exit(2)
+		}
+		spec, err := topogen.Generate(tspec, *genSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ibgplint:", err)
+			os.Exit(2)
+		}
+		if *genOut != "" {
+			if err := writeGenerated(*genOut, spec); err != nil {
+				fmt.Fprintln(os.Stderr, "ibgplint:", err)
+				os.Exit(2)
+			}
+		}
+		source := fmt.Sprintf("topogen(seed=%d,n=%d)", *genSeed, tspec.N())
+		r := lintSpecFn(source, spec)
+		sys, buildErr := topology.BuildSpec(spec)
+		if buildErr != nil {
+			sys = nil
+		}
+		inputs = append(inputs, linted{r, sys})
+	}
 	for _, path := range flag.Args() {
-		r, sys := lintFile(path)
+		r, sys := lintFile(path, lintSpecFn)
 		inputs = append(inputs, linted{r, sys})
 	}
 
@@ -123,11 +180,28 @@ func main() {
 	}
 }
 
-// lintFile lints one topology file, folding I/O and parse problems into
-// the report as findings so a bad file cannot abort a multi-file run. The
-// built system is returned alongside when the spec builds, for dynamic
-// confirmation.
-func lintFile(path string) (*lint.Report, *topology.System) {
+// writeGenerated saves a generated topology's JSON ("-" writes stdout).
+func writeGenerated(path string, spec *topology.Spec) error {
+	if path == "-" {
+		return topogen.Write(os.Stdout, spec)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := topogen.Write(f, spec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// lintFile lints one topology file with the selected spec entry point
+// (LintSpec, or ProveSpec under -prove), folding I/O and parse problems
+// into the report as findings so a bad file cannot abort a multi-file
+// run. The built system is returned alongside when the spec builds, for
+// dynamic confirmation.
+func lintFile(path string, lintSpecFn func(string, *topology.Spec) *lint.Report) (*lint.Report, *topology.System) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return errorReport(path, "read", err), nil
@@ -147,7 +221,7 @@ func lintFile(path string) (*lint.Report, *topology.System) {
 	if err != nil {
 		return errorReport(path, "parse", err), nil
 	}
-	r := lint.LintSpec(path, spec)
+	r := lintSpecFn(path, spec)
 	sys, buildErr := topology.BuildSpec(spec)
 	if buildErr != nil {
 		sys = nil

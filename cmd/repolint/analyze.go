@@ -8,6 +8,7 @@ import (
 	"io/fs"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -68,6 +69,15 @@ var hotkeyPackages = []string{
 var hotkeyFuncs = map[string]bool{
 	"Sprintf": true,
 	"Fprintf": true,
+}
+
+// passRegistryPackages are the import-path suffixes of packages that keep
+// a registry of named analysis passes (composite literals of type Pass
+// with a Name field). Every registered name must appear in that package's
+// own test files: the verdict-table tests pin each pass's behaviour, and a
+// pass that no test ever names is a pass whose regressions go unnoticed.
+var passRegistryPackages = []string{
+	"internal/lint",
 }
 
 // globalRandFuncs are the top-level math/rand functions that draw from the
@@ -220,6 +230,9 @@ func Analyze(dirs []string) ([]Finding, error) {
 				a.checkHotKey(file)
 			}
 		}
+		if inPassRegistryPackage(p.dir) {
+			a.checkPassCoverage(p)
+		}
 	}
 	sort.Slice(a.findings, func(i, j int) bool {
 		fi, fj := a.findings[i], a.findings[j]
@@ -234,6 +247,16 @@ func Analyze(dirs []string) ([]Finding, error) {
 func inDetPackage(dir string) bool {
 	d := filepath.ToSlash(dir)
 	for _, suffix := range detPackages {
+		if strings.HasSuffix(d, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func inPassRegistryPackage(dir string) bool {
+	d := filepath.ToSlash(dir)
+	for _, suffix := range passRegistryPackages {
 		if strings.HasSuffix(d, suffix) {
 			return true
 		}
@@ -629,4 +652,100 @@ func (a *analyzer) checkPathSetMutation(file *ast.File) {
 		}
 		return true
 	})
+}
+
+// checkPassCoverage runs on pass-registry packages: every Pass composite
+// literal in non-test files must have its Name string appear in some test
+// file of the same package (the verdict-table tests address passes by
+// name). Registering a pass without ever naming it in a test means its
+// verdict contribution is untested.
+func (a *analyzer) checkPassCoverage(p *pkg) {
+	isPassType := func(typ ast.Expr) bool {
+		switch t := typ.(type) {
+		case *ast.Ident:
+			return t.Name == "Pass"
+		case *ast.SelectorExpr:
+			return t.Sel.Name == "Pass"
+		}
+		return false
+	}
+	type namedPass struct {
+		name string
+		pos  token.Pos
+	}
+	var passes []namedPass
+	var testStrings []string
+	paths := make([]string, 0, len(p.files))
+	for path := range p.files {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		file := p.files[path]
+		if strings.HasSuffix(path, "_test.go") {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					if s, err := strconv.Unquote(lit.Value); err == nil {
+						testStrings = append(testStrings, s)
+					}
+				}
+				return true
+			})
+			continue
+		}
+		collect := func(cl *ast.CompositeLit) {
+			for _, elt := range cl.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok || key.Name != "Name" {
+					continue
+				}
+				if lit, ok := kv.Value.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					if s, err := strconv.Unquote(lit.Value); err == nil && s != "" {
+						passes = append(passes, namedPass{name: s, pos: lit.Pos()})
+					}
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok || cl.Type == nil {
+				return true
+			}
+			switch typ := cl.Type.(type) {
+			case *ast.ArrayType:
+				// []Pass{{...}, ...}: the element literals elide the type.
+				if !isPassType(typ.Elt) {
+					return true
+				}
+				for _, elt := range cl.Elts {
+					if inner, ok := elt.(*ast.CompositeLit); ok && inner.Type == nil {
+						collect(inner)
+					}
+				}
+			default:
+				if isPassType(cl.Type) {
+					collect(cl)
+				}
+			}
+			return true
+		})
+	}
+	for _, np := range passes {
+		covered := false
+		for _, s := range testStrings {
+			if strings.Contains(s, np.name) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			a.report(np.pos, "pass-coverage",
+				"lint pass %q is registered but never named in this package's tests: "+
+					"add it to the verdict-table tests so its findings are pinned", np.name)
+		}
+	}
 }

@@ -491,3 +491,57 @@ func main() {
 		t.Errorf("want exactly 2 global-rand findings, got %d: %v", count, findings)
 	}
 }
+
+// TestSeededPassCoverage proves the pass-coverage check fires for a lint
+// pass registered in non-test code but never named in the package's own
+// tests, stays quiet for covered passes (including names embedded inside
+// longer test strings), and ignores Pass literals outside the registry
+// packages.
+func TestSeededPassCoverage(t *testing.T) {
+	findings := analyzeTree(t, map[string]string{
+		"internal/lint/lint.go": `package lint
+
+type Pass struct {
+	Name string
+	Doc  string
+}
+
+func passes() []Pass {
+	return []Pass{
+		{Name: "covered-pass", Doc: "named directly in a test"},
+		{Name: "embedded-pass", Doc: "named inside a longer test string"},
+		{Name: "orphan-pass", Doc: "never mentioned by any test"},
+	}
+}
+`,
+		"internal/lint/lint_test.go": `package lint
+
+import "testing"
+
+func TestVerdicts(t *testing.T) {
+	want := "covered-pass"
+	msg := "expected an embedded-pass finding here"
+	_, _ = want, msg
+}
+`,
+		"internal/other/other.go": `package other
+
+type Pass struct{ Name string }
+
+var p = Pass{Name: "unregistered-package-pass"}
+`,
+	})
+	if !hasFinding(findings, "pass-coverage", `"orphan-pass"`) {
+		t.Errorf("untested lint pass not flagged; findings: %v", findings)
+	}
+	for _, f := range findings {
+		if f.Check != "pass-coverage" {
+			continue
+		}
+		for _, ok := range []string{"covered-pass", "embedded-pass", "unregistered-package-pass"} {
+			if strings.Contains(f.Msg, ok) {
+				t.Errorf("pass-coverage misfired on %s: %v", ok, f)
+			}
+		}
+	}
+}

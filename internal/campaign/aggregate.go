@@ -52,6 +52,12 @@ type SeedResult struct {
 	Reconverged  int `json:"reconverged,omitempty"`
 	LoopFree     int `json:"loop_free,omitempty"`
 	LedgerBroken int `json:"ledger_broken,omitempty"`
+
+	// Lint census fields (LintJob). LintEvaluated marks seeds where both
+	// the exact static verdict and the exhaustive ground truth completed;
+	// LintRisk is the static verdict, ClassicOsc above the ground truth.
+	LintEvaluated bool `json:"lint_evaluated,omitempty"`
+	LintRisk      bool `json:"lint_risk,omitempty"`
 }
 
 // maxExamples bounds the counterexample seed lists carried in an
@@ -121,6 +127,20 @@ type Aggregate struct {
 	LedgerBroken    int     `json:"ledger_broken,omitempty"`
 	ChaosViolations int     `json:"chaos_violations,omitempty"`
 	ChaosExamples   []int64 `json:"chaos_examples,omitempty"`
+
+	// Lint census statistics (LintJob only): the confusion matrix of the
+	// exact-mode static verdict against exhaustive exploration, over the
+	// seeds where both completed. A sound exact mode has LintFN == 0
+	// (recall 1.0); LintFP measures how often the heuristic risk passes
+	// over-warn on configurations that provably stabilize.
+	LintEvaluated  int     `json:"lint_evaluated,omitempty"`
+	LintTP         int     `json:"lint_tp,omitempty"`
+	LintFP         int     `json:"lint_fp,omitempty"`
+	LintFN         int     `json:"lint_fn,omitempty"`
+	LintTN         int     `json:"lint_tn,omitempty"`
+	LintPrecision  float64 `json:"lint_precision,omitempty"`
+	LintRecall     float64 `json:"lint_recall,omitempty"`
+	LintFNExamples []int64 `json:"lint_fn_examples,omitempty"`
 }
 
 // newAggregate seeds the header fields; fold fills the rest.
@@ -199,10 +219,33 @@ func (a *Aggregate) fold(r SeedResult, hist map[int]int) {
 			a.ChaosExamples = append(a.ChaosExamples, r.Seed)
 		}
 	}
+	if r.LintEvaluated {
+		a.LintEvaluated++
+		switch {
+		case r.ClassicOsc && r.LintRisk:
+			a.LintTP++
+		case !r.ClassicOsc && r.LintRisk:
+			a.LintFP++
+		case r.ClassicOsc && !r.LintRisk:
+			a.LintFN++
+			if len(a.LintFNExamples) < maxExamples {
+				a.LintFNExamples = append(a.LintFNExamples, r.Seed)
+			}
+		default:
+			a.LintTN++
+		}
+	}
 }
 
-// finish materialises the histogram buckets in ascending size order.
+// finish materialises the histogram buckets in ascending size order and
+// the lint precision/recall ratios.
 func (a *Aggregate) finish(hist map[int]int) {
+	if a.LintTP+a.LintFP > 0 {
+		a.LintPrecision = float64(a.LintTP) / float64(a.LintTP+a.LintFP)
+	}
+	if a.LintTP+a.LintFN > 0 {
+		a.LintRecall = float64(a.LintTP) / float64(a.LintTP+a.LintFN)
+	}
 	for k := 0; k <= 64; k++ {
 		n, ok := hist[k]
 		if !ok {
@@ -246,6 +289,10 @@ func (a *Aggregate) String() string {
 		if a.ChaosPlans > 0 {
 			fmt.Fprintf(&b, "  chaos: %d plans — %d quiesced, %d reconverged, %d loop-free, %d ledger-broken; %d violating seeds\n",
 				a.ChaosPlans, a.Quiesced, a.Reconverged, a.LoopFree, a.LedgerBroken, a.ChaosViolations)
+		}
+		if a.LintEvaluated > 0 {
+			fmt.Fprintf(&b, "  lint vs explore (%d evaluated): TP %d  FP %d  FN %d  TN %d — precision %.3f, recall %.3f\n",
+				a.LintEvaluated, a.LintTP, a.LintFP, a.LintFN, a.LintTN, a.LintPrecision, a.LintRecall)
 		}
 	}
 	return b.String()

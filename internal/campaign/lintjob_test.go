@@ -1,0 +1,50 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+)
+
+// TestLintJobShardAndWorkerIndependence pins the determinism contract for
+// the lint census: the precision/recall aggregate is byte-identical
+// across shard counts and ground-truth worker counts, and — on the small
+// family — the exact-mode linter has zero false negatives.
+func TestLintJobShardAndWorkerIndependence(t *testing.T) {
+	const seeds = 48
+	var want []byte
+	var ref *Aggregate
+	for _, tc := range []struct{ shards, workers int }{
+		{1, 1}, {4, 1}, {3, 2},
+	} {
+		agg, err := Run(context.Background(), LintJob{Workers: tc.workers},
+			Config{Shards: tc.shards, Start: 1, Seeds: seeds})
+		if err != nil {
+			t.Fatalf("shards=%d workers=%d: %v", tc.shards, tc.workers, err)
+		}
+		got := mustJSON(t, agg)
+		if want == nil {
+			want, ref = got, agg
+			continue
+		}
+		if string(got) != string(want) {
+			t.Errorf("shards=%d workers=%d changed the aggregate:\n%s\nwant:\n%s",
+				tc.shards, tc.workers, got, want)
+		}
+	}
+	if ref.Completed != seeds {
+		t.Fatalf("completed = %d, want %d", ref.Completed, seeds)
+	}
+	if ref.LintEvaluated == 0 {
+		t.Fatal("no seed was evaluated against ground truth")
+	}
+	if ref.LintEvaluated != ref.LintTP+ref.LintFP+ref.LintFN+ref.LintTN {
+		t.Fatalf("confusion matrix does not sum: %+v", ref)
+	}
+	if ref.LintTP == 0 {
+		t.Fatalf("family produced no true positives; the census has no signal:\n%s", want)
+	}
+	if ref.LintFN != 0 {
+		t.Errorf("exact-mode lint missed %d oscillating seeds (examples %v) — the zero-false-negative contract is broken",
+			ref.LintFN, ref.LintFNExamples)
+	}
+}

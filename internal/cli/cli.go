@@ -13,6 +13,7 @@ import (
 	"repro/internal/figures"
 	"repro/internal/protocol"
 	"repro/internal/selection"
+	"repro/internal/topogen"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -128,6 +129,29 @@ func ParseCrossedSpec(s string, base workload.CrossedSpec) (workload.CrossedSpec
 		"ases":        intField(&spec.ASes),
 		"maxmed":      intField(&spec.MaxMED),
 		"dotted":      floatField(&spec.DottedProb),
+	})
+	if err != nil {
+		return spec, err
+	}
+	return spec, spec.Validate()
+}
+
+// ParseTopogenSpec maps a -params / -gen value onto the ISP topology
+// generator family: keys regions, rrs, pops, poprrs, clients, ases,
+// exits, maxmed, corecost, accesscost.
+func ParseTopogenSpec(s string, base topogen.Spec) (topogen.Spec, error) {
+	spec := base
+	err := parseKVList(s, map[string]func(string) error{
+		"regions":    intField(&spec.Regions),
+		"rrs":        intField(&spec.RRsPerRegion),
+		"pops":       intField(&spec.PoPs),
+		"poprrs":     intField(&spec.RRsPerPoP),
+		"clients":    intField(&spec.ClientsPerPoP),
+		"ases":       intField(&spec.ASes),
+		"exits":      intField(&spec.Exits),
+		"maxmed":     intField(&spec.MaxMED),
+		"corecost":   int64Field(&spec.CoreCost),
+		"accesscost": int64Field(&spec.AccessCost),
 	})
 	if err != nil {
 		return spec, err

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/bgp"
-	"repro/internal/selection"
 	"repro/internal/topology"
 )
 
@@ -36,7 +35,8 @@ func certificatePass() Pass {
 		Doc:  "sufficient conditions under which classic I-BGP provably converges",
 		Ref:  "Section 2; Section 5",
 	}
-	p.System = func(sys *topology.System) []Finding {
+	p.System = func(ctx *Context) []Finding {
+		sys := ctx.Sys
 		var out []Finding
 		n := sys.N()
 
@@ -54,7 +54,7 @@ func certificatePass() Pass {
 			})
 		}
 
-		cands := selection.Survivors12(sys.Exits())
+		cands := ctx.Cands
 		medByAS := map[bgp.ASN]int{}
 		medFree := true
 		for _, e := range cands {

@@ -28,7 +28,10 @@ package lint
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/bgp"
+	"repro/internal/selection"
 	"repro/internal/topology"
 )
 
@@ -109,6 +112,10 @@ type Finding struct {
 	Detail string `json:"detail"`
 	// Ref cites the paper section the check derives from.
 	Ref string `json:"ref,omitempty"`
+	// Witness, for prover findings, carries machine-checkable evidence
+	// decoded from a SAT model: a stable configuration, or a dispute
+	// wheel between two of them.
+	Witness *Witness `json:"witness,omitempty"`
 }
 
 func (f Finding) String() string {
@@ -130,14 +137,21 @@ type Pass struct {
 	Doc string
 	// Ref cites the paper section the pass derives from.
 	Ref string
+	// Exact marks the SAT-backed prover passes: they decide stability
+	// exactly instead of pattern-matching a sufficient condition, at a
+	// cost exponential in the worst case (Section 5). They only run under
+	// ProveSystem / ProveSpec, never under the default Lint entry points.
+	Exact bool
 	// Spec, when non-nil, runs the pass on a raw specification.
 	Spec func(*topology.Spec) []Finding
-	// System, when non-nil, runs the pass on a built system.
-	System func(*topology.System) []Finding
+	// System, when non-nil, runs the pass on a built system, through the
+	// shared per-run Context.
+	System func(*Context) []Finding
 }
 
 // Passes returns every registered pass: spec-level structural passes
-// first, then system-level risk and certificate passes.
+// first, then system-level risk and certificate passes, then the exact
+// prover passes (which only run in exact mode).
 func Passes() []Pass {
 	return []Pass{
 		clusterStructurePass(),
@@ -147,6 +161,71 @@ func Passes() []Pass {
 		medInteractionPass(),
 		disputeCyclePass(),
 		certificatePass(),
+		proveStablePass(),
+		proveWheelPass(),
+	}
+}
+
+// Context carries the system under analysis plus the indexes the
+// system-level passes share, so the rule-1/2 survivor set, the reflector
+// roster and the IGP trees are computed once per lint run instead of once
+// per pass. The shared parts are built before the passes run (the passes
+// execute concurrently) and are read-only afterwards.
+type Context struct {
+	// Sys is the built system under analysis.
+	Sys *topology.System
+	// Cands holds the selection rule-1/2 survivors among the exits — the
+	// candidate set every risk pass reasons over.
+	Cands []bgp.ExitPath
+	// Reflectors lists the reflector nodes, ascending.
+	Reflectors []bgp.NodeID
+
+	proveOnce sync.Once
+	prove     *proveIndex
+}
+
+// NewContext indexes sys for the system-level passes.
+func NewContext(sys *topology.System) *Context {
+	ctx := &Context{Sys: sys, Cands: selection.Survivors12(sys.Exits())}
+	for u := 0; u < sys.N(); u++ {
+		id := bgp.NodeID(u)
+		if sys.Role(id) == topology.Reflector {
+			ctx.Reflectors = append(ctx.Reflectors, id)
+		}
+	}
+	// Pre-warm the IGP trees the passes consult (metrics from reflectors
+	// and exit owners). AllPairs fills lazily and is not synchronised, so
+	// warming here keeps the concurrent passes race-free.
+	for _, r := range ctx.Reflectors {
+		sys.Paths().From(r)
+	}
+	for _, p := range sys.Exits() {
+		sys.Paths().From(p.ExitPoint)
+	}
+	return ctx
+}
+
+// runSystemPasses executes the system-level passes concurrently and
+// appends their findings in registry order, so the report is byte-stable
+// regardless of scheduling.
+func runSystemPasses(r *Report, sys *topology.System, exact bool) {
+	ctx := NewContext(sys)
+	passes := Passes()
+	out := make([][]Finding, len(passes))
+	var wg sync.WaitGroup
+	for i, p := range passes {
+		if p.System == nil || (p.Exact && !exact) {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, run func(*Context) []Finding) {
+			defer wg.Done()
+			out[i] = run(ctx)
+		}(i, p.System)
+	}
+	wg.Wait()
+	for _, fs := range out {
+		r.Findings = append(r.Findings, fs...)
 	}
 }
 
@@ -195,14 +274,22 @@ func (r *Report) HasPass(name string) bool {
 	return false
 }
 
-// LintSystem runs every system-level pass over a built system.
+// LintSystem runs every non-exact system-level pass over a built system.
 func LintSystem(source string, sys *topology.System) *Report {
+	return lintSystem(source, sys, false)
+}
+
+// ProveSystem is LintSystem plus the exact SAT-backed prover passes: the
+// verdict is then exact on the "no stable configuration exists" side (an
+// UNSAT prove-stable outcome is a proof of persistent oscillation) and
+// carries decoded witnesses on the SAT side.
+func ProveSystem(source string, sys *topology.System) *Report {
+	return lintSystem(source, sys, true)
+}
+
+func lintSystem(source string, sys *topology.System, exact bool) *Report {
 	r := &Report{Source: source}
-	for _, p := range Passes() {
-		if p.System != nil {
-			r.Findings = append(r.Findings, p.System(sys)...)
-		}
-	}
+	runSystemPasses(r, sys, exact)
 	r.Verdict = r.verdict()
 	return r
 }
@@ -212,6 +299,16 @@ func LintSystem(source string, sys *topology.System) *Report {
 // passes as well. A Build failure the spec passes did not predict is
 // reported as an Error finding of the synthetic "build" pass.
 func LintSpec(source string, spec *topology.Spec) *Report {
+	return lintSpec(source, spec, false)
+}
+
+// ProveSpec is LintSpec with the exact prover passes included at the
+// system level.
+func ProveSpec(source string, spec *topology.Spec) *Report {
+	return lintSpec(source, spec, true)
+}
+
+func lintSpec(source string, spec *topology.Spec, exact bool) *Report {
 	r := &Report{Source: source}
 	for _, p := range Passes() {
 		if p.Spec != nil {
@@ -233,11 +330,7 @@ func LintSpec(source string, spec *topology.Spec) *Report {
 		r.Verdict = VerdictFail
 		return r
 	}
-	for _, p := range Passes() {
-		if p.System != nil {
-			r.Findings = append(r.Findings, p.System(sys)...)
-		}
-	}
+	runSystemPasses(r, sys, exact)
 	r.Verdict = r.verdict()
 	return r
 }

@@ -90,6 +90,9 @@ func TestHierarchyTopologyPasses(t *testing.T) {
 			t.Errorf("hierarchy.json: missing %s certificate; findings:\n%s", cert, text)
 		}
 	}
+	if !rep.HasPass("safety-certificate") {
+		t.Errorf("hierarchy.json: certificates not attributed to the safety-certificate pass; findings:\n%s", text)
+	}
 }
 
 // TestQuickstartTopologyPasses replays the README/examples quickstart

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
@@ -39,6 +40,28 @@ func wrapFinding(f Finding) string {
 		fmt.Fprintf(&b, " paths %s", strings.Join(f.Paths, ","))
 	}
 	fmt.Fprintf(&b, ": %s", f.Detail)
+	if f.Witness != nil {
+		if len(f.Witness.Wheel) > 0 {
+			parts := make([]string, len(f.Witness.Wheel))
+			for i, s := range f.Witness.Wheel {
+				parts[i] = fmt.Sprintf("%s(%s|%s)", s.Node, s.Hold, s.Alt)
+			}
+			fmt.Fprintf(&b, "; wheel %s", strings.Join(parts, " -> "))
+		} else if n := len(f.Witness.Config); n > 0 && n <= 16 {
+			// Small systems get the full decoded configuration inline;
+			// larger witnesses stay JSON-only (-json carries them whole).
+			names := make([]string, 0, n)
+			for name := range f.Witness.Config {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			parts := make([]string, n)
+			for i, name := range names {
+				parts[i] = name + "=" + f.Witness.Config[name]
+			}
+			fmt.Fprintf(&b, "; config %s", strings.Join(parts, " "))
+		}
+	}
 	if f.Ref != "" {
 		fmt.Fprintf(&b, " [%s]", f.Ref)
 	}

@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"repro/internal/bgp"
-	"repro/internal/selection"
 	"repro/internal/topology"
 )
 
@@ -36,8 +35,8 @@ func medInteractionPass() Pass {
 		Doc:  "per-AS MED conflict across clusters (the Fig 1(a) oscillation precondition)",
 		Ref:  "Section 3, Figure 1(a); Section 5",
 	}
-	p.System = func(sys *topology.System) []Finding {
-		cands := selection.Survivors12(sys.Exits())
+	p.System = func(ctx *Context) []Finding {
+		sys, cands := ctx.Sys, ctx.Cands
 		// Group by neighbouring AS, preserving first-seen order.
 		byAS := map[bgp.ASN][]bgp.ExitPath{}
 		var asns []bgp.ASN
@@ -102,8 +101,8 @@ func disputeCyclePass() Pass {
 		Doc:  "cyclic cross-cluster preference among reflectors (the Fig 2 pattern)",
 		Ref:  "Section 3, Figure 2",
 	}
-	p.System = func(sys *topology.System) []Finding {
-		cands := selection.Survivors12(sys.Exits())
+	p.System = func(ctx *Context) []Finding {
+		sys, cands := ctx.Sys, ctx.Cands
 		n := sys.N()
 		// Edges of the preference digraph, and for the report the exit path
 		// that witnesses each edge.
@@ -142,9 +141,8 @@ func disputeCyclePass() Pass {
 				if sys.Metric(r, f) >= bestOwn {
 					continue
 				}
-				for v := 0; v < n; v++ {
-					rr := bgp.NodeID(v)
-					if rr != r && sys.Role(rr) == topology.Reflector && sys.BelowOrSelf(rr, f.ExitPoint) {
+				for _, rr := range ctx.Reflectors {
+					if rr != r && sys.BelowOrSelf(rr, f.ExitPoint) {
 						adj[u] = append(adj[u], edge{to: rr, witness: f})
 					}
 				}

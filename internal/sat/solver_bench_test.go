@@ -1,0 +1,113 @@
+package sat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestSolveStatsGuard pins the solver's search effort on a fixed formula
+// family. If unit propagation regresses (say, the watch lists stop firing
+// and every forced assignment turns into a decision), Decisions explodes
+// well past these bounds long before wall-clock benchmarks notice.
+func TestSolveStatsGuard(t *testing.T) {
+	totalDecisions := 0
+	for seed := int64(0); seed < 20; seed++ {
+		f := Random3SAT(40, 160, seed) // ratio 4.0, near-threshold but solvable
+		var st Stats
+		_, _ = SolveStats(f, &st)
+		totalDecisions += st.Decisions
+	}
+	// Measured ~350 total with watched-literal propagation; the pre-rewrite
+	// rescanning solver stayed in the same range but each decision cost a
+	// full formula scan. The bound is loose (10x) so legitimate heuristic
+	// tweaks don't trip it, while a propagation regression (which turns
+	// thousands of propagations into decisions) does.
+	if totalDecisions > 5000 {
+		t.Fatalf("solver made %d decisions over the pinned family, want <= 5000 — unit propagation regressed?", totalDecisions)
+	}
+}
+
+// TestSolveStatsPropagates verifies the forced chain in a pure implication
+// ladder is resolved entirely by propagation: one decision at most, the
+// rest propagated.
+func TestSolveStatsPropagates(t *testing.T) {
+	const n = 200
+	f := &Formula{NumVars: n, Clauses: []Clause{{1}}}
+	for v := 1; v < n; v++ {
+		f.Clauses = append(f.Clauses, Clause{Literal(-v), Literal(v + 1)})
+	}
+	var st Stats
+	a, ok := SolveStats(f, &st)
+	if !ok {
+		t.Fatal("implication ladder reported unsat")
+	}
+	for v := 1; v <= n; v++ {
+		if !a[v] {
+			t.Fatalf("x%d should be forced true", v)
+		}
+	}
+	if st.Decisions != 0 {
+		t.Fatalf("ladder needed %d decisions, want 0 (all unit propagation)", st.Decisions)
+	}
+	if st.Propagations < n-1 {
+		t.Fatalf("only %d propagations recorded, want >= %d", st.Propagations, n-1)
+	}
+}
+
+// TestSolveDeterministic: equal formulas produce identical assignments.
+func TestSolveDeterministic(t *testing.T) {
+	check := func(seed int64) bool {
+		f := Random3SAT(30, 110, seed)
+		a1, ok1 := Solve(f)
+		a2, ok2 := Solve(Random3SAT(30, 110, seed))
+		if ok1 != ok2 {
+			return false
+		}
+		if !ok1 {
+			return true
+		}
+		for v := range a1 {
+			if a1[v] != a2[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolveDuplicateAndTautologicalLiterals: the watched-literal rewrite
+// dedupes clause literals internally; the formula semantics must not
+// change.
+func TestSolveDuplicateAndTautologicalLiterals(t *testing.T) {
+	f := &Formula{NumVars: 2, Clauses: []Clause{{1, 1}, {-1, -1, 2}, {1, -1}}}
+	a, ok := Solve(f)
+	if !ok {
+		t.Fatal("satisfiable formula with duplicate literals reported unsat")
+	}
+	if !f.Eval(a) {
+		t.Fatalf("assignment %v does not satisfy", a)
+	}
+	if !a[1] || !a[2] {
+		t.Fatalf("units should force x1 and then x2: %v", a)
+	}
+	unsat := &Formula{NumVars: 1, Clauses: []Clause{{1, 1}, {-1, -1}}}
+	if _, ok := Solve(unsat); ok {
+		t.Fatal("unsat formula with duplicate literals reported sat")
+	}
+}
+
+// BenchmarkSolve3SAT is the benchmark guard for the reduction tests: the
+// 3-SAT instances here are the size the Section 5 reduction produces.
+func BenchmarkSolve3SAT(b *testing.B) {
+	fs := make([]*Formula, 16)
+	for i := range fs {
+		fs[i] = Random3SAT(60, 240, int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(fs[i%len(fs)])
+	}
+}

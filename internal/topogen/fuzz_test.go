@@ -1,0 +1,60 @@
+package topogen
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/topology"
+)
+
+// FuzzGenerate drives the generator over arbitrary parameter corners:
+// every accepted spec must build, its JSON must round-trip through the
+// loader byte-identically, and linting the round-tripped spec must
+// neither panic nor change the verdict.
+func FuzzGenerate(f *testing.F) {
+	f.Add(uint8(1), uint8(1), uint8(3), uint8(1), uint8(1), uint8(2), uint8(4), uint8(2), int64(0))
+	f.Add(uint8(2), uint8(2), uint8(4), uint8(2), uint8(3), uint8(3), uint8(6), uint8(4), int64(7))
+	f.Add(uint8(3), uint8(1), uint8(5), uint8(1), uint8(0), uint8(1), uint8(2), uint8(0), int64(42))
+	f.Fuzz(func(t *testing.T, regions, rrs, pops, poprrs, clients, ases, exits, maxMED uint8, seed int64) {
+		spec := Spec{
+			Regions:       1 + int(regions%3),
+			RRsPerRegion:  1 + int(rrs%3),
+			PoPs:          1 + int(pops%5),
+			RRsPerPoP:     1 + int(poprrs%2),
+			ClientsPerPoP: int(clients % 4),
+			ASes:          1 + int(ases%3),
+			Exits:         1 + int(exits%8),
+			MaxMED:        int(maxMED % 5),
+			CoreCost:      50,
+			AccessCost:    8,
+		}
+		gen, err := Generate(spec, seed)
+		if err != nil {
+			t.Fatalf("validated spec rejected: %v", err)
+		}
+		js, err := JSON(gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := topology.ParseSpec(bytes.NewReader(js))
+		if err != nil {
+			t.Fatalf("generated JSON does not parse: %v", err)
+		}
+		js2, err := JSON(parsed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(js, js2) {
+			t.Fatal("JSON round-trip is not byte-identical")
+		}
+		if _, err := topology.BuildSpec(parsed); err != nil {
+			t.Fatalf("round-tripped spec does not build: %v", err)
+		}
+		direct := lint.LintSpec("direct", gen)
+		round := lint.LintSpec("round", parsed)
+		if direct.Verdict != round.Verdict {
+			t.Fatalf("lint verdict changed across the round trip: %v vs %v", direct.Verdict, round.Verdict)
+		}
+	})
+}

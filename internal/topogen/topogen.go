@@ -1,0 +1,258 @@
+// Package topogen generates ISP-scale route-reflection topologies.
+//
+// The bundled figures are minimal counterexamples (a handful of routers)
+// and package workload draws small flat families for census sampling.
+// Scaling the static analyzer needs the third kind of input: provider-
+// shaped configurations — a backbone of regions, PoPs nested under them
+// as sub-clusters (multi-level reflection), tens of access routers per
+// PoP, a few E-BGP exit points per neighbouring AS, and the skewed IGP
+// metric structure (cheap PoP fabrics, expensive long-haul) that makes
+// distinct reflectors genuinely disagree about exit proximity.
+//
+// Generate is deterministic in (Spec, seed): it emits a topology.Spec
+// whose JSON rendering is byte-identical across runs and across any
+// worker count, which the campaign layer and the determinism tests rely
+// on.
+package topogen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/bgp"
+	"repro/internal/topology"
+)
+
+// Spec parameterizes one generated ISP family.
+type Spec struct {
+	// Regions is the number of backbone regions; each is a top-level
+	// cluster whose reflectors form the provider core.
+	Regions int
+	// RRsPerRegion is the number of core reflectors per region.
+	RRsPerRegion int
+	// PoPs is the total number of points of presence, assigned
+	// round-robin to regions and nested as sub-clusters.
+	PoPs int
+	// RRsPerPoP is the number of reflectors per PoP.
+	RRsPerPoP int
+	// ClientsPerPoP is the number of access routers per PoP.
+	ClientsPerPoP int
+	// ASes is the number of neighbouring autonomous systems announcing
+	// the prefix.
+	ASes int
+	// Exits is the total number of E-BGP exit points, spread round-robin
+	// over PoPs and neighbouring ASes.
+	Exits int
+	// MaxMED bounds the announced MED values (drawn from [0, MaxMED]).
+	MaxMED int
+	// CoreCost scales backbone IGP costs (inter-region and PoP uplinks,
+	// drawn from [CoreCost/2, CoreCost]).
+	CoreCost int64
+	// AccessCost scales PoP-internal IGP costs (drawn from
+	// [1, AccessCost]). CoreCost >> AccessCost gives the usual ISP metric
+	// skew: exits in the local PoP are much closer than remote ones.
+	AccessCost int64
+}
+
+// Default is a mid-size provider: two regions, a couple dozen PoPs,
+// ~1000 routers, 16 exits across 4 neighbouring ASes.
+func Default() Spec {
+	return Spec{
+		Regions:       2,
+		RRsPerRegion:  2,
+		PoPs:          24,
+		RRsPerPoP:     2,
+		ClientsPerPoP: 40,
+		ASes:          4,
+		Exits:         16,
+		MaxMED:        4,
+		CoreCost:      100,
+		AccessCost:    10,
+	}
+}
+
+// Small is a family sized for exhaustive cross-validation: systems small
+// enough that the explore engine can enumerate their reachable states,
+// yet still multi-level and multi-exit.
+func Small() Spec {
+	return Spec{
+		Regions:       1,
+		RRsPerRegion:  1,
+		PoPs:          3,
+		RRsPerPoP:     1,
+		ClientsPerPoP: 1,
+		ASes:          2,
+		Exits:         4,
+		MaxMED:        2,
+		CoreCost:      20,
+		AccessCost:    6,
+	}
+}
+
+// N returns the router count the spec generates.
+func (s Spec) N() int {
+	return s.Regions*s.RRsPerRegion + s.PoPs*(s.RRsPerPoP+s.ClientsPerPoP)
+}
+
+// Validate rejects degenerate parameter sets.
+func (s Spec) Validate() error {
+	switch {
+	case s.Regions < 1:
+		return fmt.Errorf("topogen: Regions = %d, need at least one region", s.Regions)
+	case s.RRsPerRegion < 1:
+		return fmt.Errorf("topogen: RRsPerRegion = %d, need at least one core reflector", s.RRsPerRegion)
+	case s.PoPs < 1:
+		return fmt.Errorf("topogen: PoPs = %d, need at least one PoP", s.PoPs)
+	case s.RRsPerPoP < 1:
+		return fmt.Errorf("topogen: RRsPerPoP = %d, need at least one PoP reflector", s.RRsPerPoP)
+	case s.ClientsPerPoP < 0:
+		return fmt.Errorf("topogen: ClientsPerPoP = %d", s.ClientsPerPoP)
+	case s.ASes < 1:
+		return fmt.Errorf("topogen: ASes = %d, need at least one neighbouring AS", s.ASes)
+	case s.Exits < 1:
+		return fmt.Errorf("topogen: Exits = %d, need at least one exit path", s.Exits)
+	case s.MaxMED < 0:
+		return fmt.Errorf("topogen: MaxMED = %d", s.MaxMED)
+	case s.CoreCost < 1 || s.AccessCost < 1:
+		return fmt.Errorf("topogen: costs must be positive (core %d, access %d)", s.CoreCost, s.AccessCost)
+	}
+	return nil
+}
+
+// Generate produces the topology for one seed. The result always builds
+// through topology.BuildSpec; the emitted cluster list orders regions
+// before their PoPs, as the loader's parent-index constraint requires.
+func Generate(s Spec, seed int64) (*topology.Spec, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := &topology.Spec{
+		Comment: fmt.Sprintf(
+			"topogen seed=%d regions=%d rrs=%d pops=%d poprrs=%d clients=%d ases=%d exits=%d maxmed=%d",
+			seed, s.Regions, s.RRsPerRegion, s.PoPs, s.RRsPerPoP, s.ClientsPerPoP, s.ASes, s.Exits, s.MaxMED),
+	}
+	core := func(r, i int) string { return fmt.Sprintf("core%d-%d", r, i) }
+	rr := func(p, i int) string { return fmt.Sprintf("rr%02d-%d", p, i) }
+	ac := func(p, i int) string { return fmt.Sprintf("ac%02d-%02d", p, i) }
+	link := func(a, b string, cost int64) {
+		out.Links = append(out.Links, topology.LinkSpec{A: a, B: b, Cost: cost})
+	}
+	coreCost := func() int64 { return s.CoreCost/2 + 1 + rng.Int63n((s.CoreCost+1)/2) }
+	accessCost := func() int64 { return 1 + rng.Int63n(s.AccessCost) }
+
+	// Backbone: one top-level cluster per region, reflectors meshed
+	// inside a region and ringed (with a redundant second ring when the
+	// core is dual) across regions.
+	for r := 0; r < s.Regions; r++ {
+		var cs topology.ClusterSpec
+		for i := 0; i < s.RRsPerRegion; i++ {
+			cs.Reflectors = append(cs.Reflectors, core(r, i))
+		}
+		out.Clusters = append(out.Clusters, cs)
+	}
+	for r := 0; r < s.Regions; r++ {
+		for i := 0; i < s.RRsPerRegion; i++ {
+			for j := i + 1; j < s.RRsPerRegion; j++ {
+				link(core(r, i), core(r, j), coreCost())
+			}
+		}
+	}
+	if s.Regions > 1 {
+		ring := s.Regions
+		if ring == 2 {
+			ring = 1 // a two-region ring would duplicate the single edge
+		}
+		for r := 0; r < ring; r++ {
+			next := (r + 1) % s.Regions
+			link(core(r, 0), core(next, 0), coreCost())
+			if s.RRsPerRegion > 1 {
+				last := s.RRsPerRegion - 1
+				link(core(r, last), core(next, last), coreCost())
+			}
+		}
+	}
+
+	// PoPs: sub-clusters nested under their region, PoP reflectors
+	// dual-homed into the regional core, access routers starred onto
+	// every PoP reflector over the cheap local fabric.
+	for p := 0; p < s.PoPs; p++ {
+		region := p % s.Regions
+		parent := region
+		cs := topology.ClusterSpec{Parent: &parent}
+		for i := 0; i < s.RRsPerPoP; i++ {
+			cs.Reflectors = append(cs.Reflectors, rr(p, i))
+		}
+		for i := 0; i < s.ClientsPerPoP; i++ {
+			cs.Clients = append(cs.Clients, ac(p, i))
+		}
+		out.Clusters = append(out.Clusters, cs)
+
+		for i := 0; i < s.RRsPerPoP; i++ {
+			up := rng.Intn(s.RRsPerRegion)
+			link(rr(p, i), core(region, up), coreCost())
+			if s.RRsPerRegion > 1 {
+				second := (up + 1 + rng.Intn(s.RRsPerRegion-1)) % s.RRsPerRegion
+				link(rr(p, i), core(region, second), coreCost())
+			}
+		}
+		for i := 0; i < s.RRsPerPoP; i++ {
+			for j := i + 1; j < s.RRsPerPoP; j++ {
+				link(rr(p, i), rr(p, j), accessCost())
+			}
+		}
+		for i := 0; i < s.ClientsPerPoP; i++ {
+			for j := 0; j < s.RRsPerPoP; j++ {
+				link(ac(p, i), rr(p, j), accessCost())
+			}
+		}
+	}
+
+	// Exits: round-robin over PoPs, landing on access routers when the
+	// PoP has any (the usual peering-edge placement) and on PoP
+	// reflectors otherwise. Neighbouring ASes rotate; MEDs are drawn
+	// independently, so the same AS announces conflicting MEDs at
+	// different PoPs — the paper's Figure 1(a) regime at scale.
+	for x := 0; x < s.Exits; x++ {
+		p := x % s.PoPs
+		var at string
+		if s.ClientsPerPoP > 0 {
+			at = ac(p, (x/s.PoPs)%s.ClientsPerPoP)
+		} else {
+			at = rr(p, (x/s.PoPs)%s.RRsPerPoP)
+		}
+		out.Exits = append(out.Exits, topology.ExitJSON{
+			At:       at,
+			NextAS:   bgp.ASN(1000 + x%s.ASes),
+			MED:      rng.Intn(s.MaxMED + 1),
+			ExitCost: accessCost(),
+		})
+	}
+	return out, nil
+}
+
+// JSON renders a generated topology as the loader's indented JSON form.
+// The rendering is canonical: generating the same (Spec, seed) twice
+// yields byte-identical output.
+func JSON(spec *topology.Spec) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(spec); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Write emits the JSON rendering to w.
+func Write(w io.Writer, spec *topology.Spec) error {
+	b, err := JSON(spec)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}

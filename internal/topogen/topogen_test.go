@@ -1,0 +1,99 @@
+package topogen
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestGeneratedSpecsBuild checks that both bundled families build through
+// the loader across a range of seeds, with the expected router count.
+func TestGeneratedSpecsBuild(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec Spec
+	}{
+		{"default", Default()},
+		{"small", Small()},
+	} {
+		for seed := int64(0); seed < 5; seed++ {
+			spec, err := Generate(tc.spec, seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", tc.name, seed, err)
+			}
+			sys, err := topology.BuildSpec(spec)
+			if err != nil {
+				t.Fatalf("%s seed %d: generated spec does not build: %v", tc.name, seed, err)
+			}
+			if sys.N() != tc.spec.N() {
+				t.Fatalf("%s seed %d: built %d routers, spec.N() = %d", tc.name, seed, sys.N(), tc.spec.N())
+			}
+			if sys.NumExits() != tc.spec.Exits {
+				t.Fatalf("%s seed %d: built %d exits, want %d", tc.name, seed, sys.NumExits(), tc.spec.Exits)
+			}
+		}
+	}
+}
+
+// TestGenerateDeterministic requires byte-identical JSON for the same
+// (Spec, seed) across repeated and concurrent generations: the campaign
+// layer shards seeds over workers and folds results assuming a seed's
+// topology does not depend on where it is generated.
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Small()
+	spec.PoPs = 4
+	want := make([][]byte, 8)
+	for seed := range want {
+		g, err := Generate(spec, int64(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[seed], err = JSON(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 2, 7} {
+		got := make([][]byte, len(want))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for seed := w; seed < len(want); seed += workers {
+					g, err := Generate(spec, int64(seed))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					got[seed], err = JSON(g)
+					if err != nil {
+						t.Error(err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for seed := range want {
+			if !bytes.Equal(want[seed], got[seed]) {
+				t.Fatalf("workers=%d seed %d: JSON differs from serial generation", workers, seed)
+			}
+		}
+	}
+}
+
+// TestGenerateRejectsDegenerate checks Validate fires through Generate.
+func TestGenerateRejectsDegenerate(t *testing.T) {
+	for _, bad := range []Spec{
+		{},
+		{Regions: 1, RRsPerRegion: 1, PoPs: 1, RRsPerPoP: 1, ASes: 1, Exits: 0, CoreCost: 1, AccessCost: 1},
+		{Regions: 1, RRsPerRegion: 1, PoPs: 1, RRsPerPoP: 0, ASes: 1, Exits: 1, CoreCost: 1, AccessCost: 1},
+		{Regions: 1, RRsPerRegion: 1, PoPs: 1, RRsPerPoP: 1, ASes: 1, Exits: 1, CoreCost: 0, AccessCost: 1},
+	} {
+		if _, err := Generate(bad, 0); err == nil {
+			t.Errorf("Generate accepted degenerate spec %+v", bad)
+		}
+	}
+}

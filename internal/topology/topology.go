@@ -471,25 +471,34 @@ func (b *Builder) Build() (*System, error) {
 	}
 
 	// Service-subtree closure: below[r] = {r} ∪ ⋃ below[c] over the
-	// members r serves. Clusters form a forest (parents precede children),
-	// so a reverse scan terminates; compute by fixpoint for clarity.
+	// members r serves. Clusters form a forest and parents always precede
+	// children (SubCluster only accepts existing cluster indices), so a
+	// single pass over reflectors in descending cluster order sees every
+	// served member's subtree already complete: served members are either
+	// same-cluster clients (whose subtree is themselves) or reflectors of
+	// a strictly higher-numbered cluster. This replaces the previous
+	// O(n³)-per-sweep fixpoint, which dominated Build at ISP scale.
 	below := make([][]bool, n)
 	for i := range below {
 		below[i] = make([]bool, n)
 		below[i][i] = true
 	}
-	for changed := true; changed; {
-		changed = false
-		for r := 0; r < n; r++ {
-			for c := 0; c < n; c++ {
-				if !servedBy[c][r] {
-					continue
-				}
-				for x := 0; x < n; x++ {
-					if below[c][x] && !below[r][x] {
-						below[r][x] = true
-						changed = true
-					}
+	servers := make([]bgp.NodeID, 0, n)
+	for r := 0; r < n; r++ {
+		servers = append(servers, bgp.NodeID(r))
+	}
+	sort.SliceStable(servers, func(i, j int) bool {
+		return b.cluster[servers[i]] > b.cluster[servers[j]]
+	})
+	for _, r := range servers {
+		for c := 0; c < n; c++ {
+			if !servedBy[c][r] {
+				continue
+			}
+			br, bc := below[r], below[c]
+			for x := 0; x < n; x++ {
+				if bc[x] {
+					br[x] = true
 				}
 			}
 		}

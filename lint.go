@@ -20,6 +20,12 @@ type (
 	LintVerdict = lint.Verdict
 	// LintSeverity classifies a lint finding.
 	LintSeverity = lint.Severity
+	// LintWitness is the machine-checkable evidence on prover findings: a
+	// replay-verified stable configuration, or a dispute wheel between
+	// two of them.
+	LintWitness = lint.Witness
+	// LintWheelSpoke is one router on a decoded dispute wheel.
+	LintWheelSpoke = lint.WheelSpoke
 )
 
 // Lint verdicts.
@@ -51,6 +57,17 @@ func LintSystem(source string, sys *System) *LintReport { return lint.LintSystem
 // first (so configurations too broken to Build are still diagnosed), then
 // the risk and certificate passes on the built System.
 func LintSpec(source string, spec *Spec) *LintReport { return lint.LintSpec(source, spec) }
+
+// ProveSystem statically analyses a built System in exact mode: on top of
+// the heuristic passes, the SAT-backed provers decide whether a stable
+// routing exists (UNSAT is a proof of persistent oscillation) and whether
+// it is unique, attaching replay-verified witnesses to their findings.
+func ProveSystem(source string, sys *System) *LintReport { return lint.ProveSystem(source, sys) }
+
+// ProveSpec is LintSpec in exact mode: structural passes on the raw
+// specification, then heuristic and SAT-backed prover passes on the built
+// System.
+func ProveSpec(source string, spec *Spec) *LintReport { return lint.ProveSpec(source, spec) }
 
 // LintPasses returns every registered lint pass.
 func LintPasses() []LintPass { return lint.Passes() }

@@ -1,0 +1,71 @@
+package ibgp
+
+// BenchmarkLintScale measures static analysis at ISP scale: heuristic
+// lint and the full SAT-backed prover over the ~1000-router topogen
+// default family, recorded in BENCH_lint.json so the perf trajectory
+// accumulates across commits. The prover must stay interactive (well
+// under ten seconds) at this scale — that bound is the point of the
+// benchmark, so it is asserted, not just reported.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/lint"
+	"repro/internal/topogen"
+	"repro/internal/topology"
+)
+
+func BenchmarkLintScale(b *testing.B) {
+	tspec := topogen.Default()
+	spec, err := topogen.Generate(tspec, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := topology.BuildSpec(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var heuristic, prove time.Duration
+	var verdict lint.Verdict
+	for i := 0; i < b.N; i++ {
+		begin := time.Now()
+		lint.LintSystem("bench", sys)
+		heuristic = time.Since(begin)
+
+		begin = time.Now()
+		r := lint.ProveSystem("bench", sys)
+		prove = time.Since(begin)
+		verdict = r.Verdict
+	}
+	b.ReportMetric(prove.Seconds(), "prove-sec")
+	if limit := 10 * time.Second; prove > limit {
+		b.Fatalf("proving a %d-router topology took %v (limit %v)", tspec.N(), prove, limit)
+	}
+
+	record := struct {
+		Job          string  `json:"job"`
+		Routers      int     `json:"routers"`
+		HeuristicSec float64 `json:"heuristic_sec"`
+		ProveSec     float64 `json:"prove_sec"`
+		Verdict      string  `json:"verdict"`
+		Under10s     bool    `json:"prove_under_10s"`
+	}{
+		Job:          "lint/topogen-default",
+		Routers:      tspec.N(),
+		HeuristicSec: heuristic.Seconds(),
+		ProveSec:     prove.Seconds(),
+		Verdict:      verdict.String(),
+		Under10s:     prove <= 10*time.Second,
+	}
+	out, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_lint.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
