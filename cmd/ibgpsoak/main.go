@@ -1,0 +1,225 @@
+// Command ibgpsoak drives a seeded churn workload against the operational
+// substrates for a wall-clock duration, continuously asserting the rolling
+// invariants (windowed Lemma 7.4 re-convergence after each faultless quiet
+// window, forwarding loop freedom, bounded RIB growth, quiescence-ledger
+// closure), and optionally serves a BMP-style live telemetry feed while it
+// runs.
+//
+// Usage:
+//
+//	ibgpsoak [-spec default|small|KVLIST] [-topology FILE | -figure N]
+//	         [-seed N] [-duration D] [-rate R] [-churn KVLIST]
+//	         [-faults SPEC] [-substrate sim|tcp|both] [-mrai N]
+//	         [-policy modified|...] [-order paper|rfc] [-med standard|always]
+//	         [-listen HOST:PORT] [-stats-every D] [-agg]
+//
+// The topology comes from the ISP generator family (-spec, seeded by
+// -seed) unless -topology or -figure names one explicitly. The churn
+// workload is DefaultSpec with the run seed, -rate as a shorthand for its
+// event rate, and -churn for full control ("seed=2,prefixes=8,rate=50,
+// period=500,burst=200,flap=0.3"). -duration maps onto a deterministic
+// round count, so the final aggregate is a pure function of the seed:
+// "-substrate both" runs the discrete-event simulator and the loopback
+// TCP speakers on the identical stream and fails if their aggregates
+// differ.
+//
+// -listen exposes the live feed: GET /events streams newline-delimited
+// JSON router events with periodic aggregate records, /stats and
+// /counters serve snapshots. -agg trims stdout to the deterministic
+// aggregate alone (wall-clock metrics vary run to run), which is what CI
+// byte-compares across runs.
+//
+// Exit status: 0 clean, 1 invariant violations or substrate divergence,
+// 2 usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"repro/internal/churn"
+	"repro/internal/cli"
+	"repro/internal/faults"
+	"repro/internal/telemetry"
+	"repro/internal/topogen"
+	"repro/internal/topology"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ibgpsoak:", err)
+	os.Exit(2)
+}
+
+// resolveSystem picks the topology: an explicit file or figure wins,
+// otherwise the topogen family named by -spec is generated with the run
+// seed.
+func resolveSystem(topoPath, figure, spec string, seed int64) (*topology.System, string, error) {
+	if topoPath != "" || figure != "" {
+		sys, err := cli.LoadSystem(topoPath, figure)
+		return sys, "loaded", err
+	}
+	base := topogen.Default()
+	kv := spec
+	switch spec {
+	case "", "default":
+		kv = ""
+	case "small":
+		base, kv = topogen.Small(), ""
+	}
+	tspec, err := cli.ParseTopogenSpec(kv, base)
+	if err != nil {
+		return nil, "", err
+	}
+	gen, err := topogen.Generate(tspec, seed)
+	if err != nil {
+		return nil, "", err
+	}
+	sys, err := topology.BuildSpec(gen)
+	return sys, fmt.Sprintf("topogen %d routers", tspec.N()), err
+}
+
+func main() {
+	var (
+		spec       = flag.String("spec", "default", `topogen family: "default", "small", or key=value overrides (regions, rrs, pops, poprrs, clients, ases, exits, maxmed, corecost, accesscost)`)
+		topoPath   = flag.String("topology", "", "topology JSON file (overrides -spec)")
+		figure     = flag.String("figure", "", "paper figure name (overrides -spec)")
+		seed       = flag.Int64("seed", 1, "run seed: topology generation, churn stream and sim delays")
+		duration   = flag.Duration("duration", 30*time.Second, "soak length; maps onto a deterministic round count")
+		rate       = flag.Float64("rate", 0, "churn events per second (shorthand for -churn rate=R; 0 keeps the default)")
+		churnSpec  = flag.String("churn", "", `full churn workload, e.g. "prefixes=8,rate=50,period=500,burst=200,flap=0.3"`)
+		faultSpec  = flag.String("faults", "", `fault plan, e.g. "seed=7,drop=0.05,delay=0.2,maxdelay=30,horizon=600"`)
+		substrate  = flag.String("substrate", "both", "sim, tcp or both")
+		mrai       = flag.Int64("mrai", 0, "minimum route advertisement interval, sim ticks / tcp ms (0 off)")
+		policy     = flag.String("policy", "modified", "classic, walton, modified or adaptive")
+		order      = flag.String("order", "paper", "rule order: paper or rfc")
+		med        = flag.String("med", "standard", "MED mode: standard or always")
+		listen     = flag.String("listen", "", "serve the live telemetry feed on HOST:PORT (empty disables)")
+		statsEvery = flag.Duration("stats-every", 2*time.Second, "interval between aggregate records on /events")
+		aggOnly    = flag.Bool("agg", false, "print only the deterministic aggregate (for run-to-run comparison)")
+	)
+	flag.Parse()
+
+	sys, origin, err := resolveSystem(*topoPath, *figure, *spec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	pol, err := cli.ParsePolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	opts, err := cli.ParseOptions(*order, *med)
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if !plan.Active() {
+		plan = nil
+	}
+	cspec := churn.DefaultSpec()
+	cspec.Seed = *seed
+	if *rate > 0 {
+		cspec.Rate = *rate
+	}
+	cspec, err = cli.ParseChurnSpec(*churnSpec, cspec)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := churn.Config{
+		Spec:      cspec,
+		Rounds:    cspec.Rounds(*duration),
+		Policy:    pol,
+		Opts:      opts,
+		Plan:      plan,
+		MRAI:      *mrai,
+		DelaySeed: *seed,
+	}
+
+	if *listen != "" {
+		feed := telemetry.NewFeed()
+		srv, err := telemetry.Serve(feed, *listen, *statsEvery)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		cfg.Events = feed.Sink
+		cfg.BindCounters = feed.BindCounters
+		cfg.Latency = feed.RecordConvergence
+		fmt.Fprintf(os.Stderr, "ibgpsoak: telemetry on http://%s (/events, /stats, /counters)\n", srv.Addr())
+	}
+
+	fmt.Fprintf(os.Stderr, "ibgpsoak: %s, %d rounds of %s, substrate %s\n",
+		origin, cfg.Rounds, cspec, *substrate)
+
+	run := func(name string, drive func(*topology.System, churn.Config) (*churn.Report, error)) *churn.Report {
+		rep, err := drive(sys, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		for _, v := range rep.Violations {
+			fmt.Fprintf(os.Stderr, "ibgpsoak: %s: VIOLATION %s\n", name, v)
+		}
+		fmt.Fprintf(os.Stderr, "ibgpsoak: %s: %d rounds, %d churn events, %d msgs, %.0f msgs/sec, convergence p50 %d p99 %d, %d violations\n",
+			name, rep.Agg.Rounds, rep.Agg.Events, rep.Measured.Counters.Sent,
+			rep.Measured.MsgsPerSec, rep.Measured.Convergence.P50, rep.Measured.Convergence.P99,
+			len(rep.Violations))
+		return rep
+	}
+
+	out := json.NewEncoder(os.Stdout)
+	out.SetIndent("", "  ")
+	emit := func(v any) {
+		if err := out.Encode(v); err != nil {
+			fatal(err)
+		}
+	}
+
+	ok := true
+	switch *substrate {
+	case "sim":
+		rep := run("sim", churn.SoakSim)
+		ok = rep.OK()
+		if *aggOnly {
+			emit(rep.Agg)
+		} else {
+			emit(rep)
+		}
+	case "tcp":
+		rep := run("tcp", churn.SoakTCP)
+		ok = rep.OK()
+		if *aggOnly {
+			emit(rep.Agg)
+		} else {
+			emit(rep)
+		}
+	case "both":
+		sim := run("sim", churn.SoakSim)
+		tcp := run("tcp", churn.SoakTCP)
+		match := reflect.DeepEqual(sim.Agg, tcp.Agg)
+		ok = sim.OK() && tcp.OK() && match
+		if !match {
+			fmt.Fprintf(os.Stderr, "ibgpsoak: VIOLATION substrates diverged:\nsim %+v\ntcp %+v\n", sim.Agg, tcp.Agg)
+		}
+		if *aggOnly {
+			emit(sim.Agg)
+		} else {
+			emit(struct {
+				Sim            *churn.Report `json:"sim"`
+				TCP            *churn.Report `json:"tcp"`
+				AggregateMatch bool          `json:"aggregateMatch"`
+			}{sim, tcp, match})
+		}
+	default:
+		fatal(fmt.Errorf("unknown substrate %q (want sim, tcp or both)", *substrate))
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

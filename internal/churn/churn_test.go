@@ -1,0 +1,186 @@
+package churn
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+func testPaths() []bgp.PathID { return []bgp.PathID{0, 1, 2, 3} }
+
+func TestSpecValidateErrors(t *testing.T) {
+	base := DefaultSpec()
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"no prefixes", func(s *Spec) { s.Prefixes = 0 }},
+		{"negative rate", func(s *Spec) { s.Rate = -3 }},
+		{"zero rate", func(s *Spec) { s.Rate = 0 }},
+		{"zero period", func(s *Spec) { s.Period = 0 }},
+		{"zero burst", func(s *Spec) { s.Burst = 0 }},
+		{"burst past period", func(s *Spec) { s.Burst = s.Period + 1 }},
+		{"flap prob above one", func(s *Spec) { s.FlapProb = 1.5 }},
+		{"negative flap prob", func(s *Spec) { s.FlapProb = -0.1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base
+			tc.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Fatalf("Validate accepted %+v", s)
+			}
+			if _, err := NewStream(s, testPaths()); err == nil {
+				t.Fatal("NewStream accepted an invalid spec")
+			}
+		})
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("DefaultSpec invalid: %v", err)
+	}
+	if _, err := NewStream(base, nil); err == nil {
+		t.Fatal("NewStream accepted an empty path set")
+	}
+}
+
+func TestSpecArithmetic(t *testing.T) {
+	s := Spec{Seed: 1, Prefixes: 1, Rate: 20, Period: 500, Burst: 100, FlapProb: 0}
+	if got := s.EventsPerRound(); got != 10 {
+		t.Fatalf("EventsPerRound = %d, want 10", got)
+	}
+	s.Rate = 0.5 // 0.25 events/round rounds up to the 1-event floor
+	if got := s.EventsPerRound(); got != 1 {
+		t.Fatalf("EventsPerRound = %d, want floor 1", got)
+	}
+	if got := s.Rounds(3 * time.Second); got != 6 {
+		t.Fatalf("Rounds(3s) = %d, want 6", got)
+	}
+	if got := s.Rounds(time.Millisecond); got != 1 {
+		t.Fatalf("Rounds(1ms) = %d, want floor 1", got)
+	}
+}
+
+// TestStreamDeterministic: the stream is a pure function of its spec —
+// identical specs emit identical rounds, a different seed diverges.
+func TestStreamDeterministic(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Rate = 40
+	a, err := NewStream(spec, testPaths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewStream(spec, testPaths())
+	for r := 0; r < 50; r++ {
+		ea, eb := a.Next(), b.Next()
+		if !reflect.DeepEqual(ea, eb) {
+			t.Fatalf("round %d diverged between identical specs:\n%v\n%v", r, ea, eb)
+		}
+	}
+	if a.Announces() != b.Announces() || a.Withdraws() != b.Withdraws() ||
+		a.FlapPairs() != b.FlapPairs() || a.Skipped() != b.Skipped() {
+		t.Fatal("identical specs produced different counters")
+	}
+
+	other := spec
+	other.Seed = 2
+	c, _ := NewStream(other, testPaths())
+	diverged := false
+	d, _ := NewStream(spec, testPaths())
+	for r := 0; r < 50 && !diverged; r++ {
+		diverged = !reflect.DeepEqual(d.Next(), c.Next())
+	}
+	if !diverged {
+		t.Fatal("seed 1 and seed 2 emitted identical streams")
+	}
+}
+
+// TestStreamLiveSets: replaying a round's events over the previous live
+// set reproduces Stream.Live, every prefix keeps at least one live path at
+// round boundaries, and flaps restore the path they withdrew.
+func TestStreamLiveSets(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Rate = 60
+	spec.FlapProb = 0.4
+	st, err := NewStream(spec, testPaths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := make([]map[bgp.PathID]bool, spec.Prefixes)
+	for p := range replay {
+		replay[p] = map[bgp.PathID]bool{}
+		for _, id := range testPaths() {
+			replay[p][id] = true
+		}
+	}
+	for r := 0; r < 100; r++ {
+		for _, ev := range st.Next() {
+			if ev.Withdraw {
+				delete(replay[ev.Prefix], ev.Path)
+			} else {
+				replay[ev.Prefix][ev.Path] = true
+			}
+		}
+		for p := 0; p < spec.Prefixes; p++ {
+			live := st.Live(uint32(p))
+			if live.Len() < 1 {
+				t.Fatalf("round %d prefix %d: live set emptied", r, p)
+			}
+			if live.Len() != len(replay[p]) {
+				t.Fatalf("round %d prefix %d: Live %v, replay %v", r, p, live, replay[p])
+			}
+			for id := range replay[p] {
+				if !live.Contains(id) {
+					t.Fatalf("round %d prefix %d: Live %v missing replayed %d", r, p, live, id)
+				}
+			}
+		}
+	}
+	if st.FlapPairs() == 0 {
+		t.Fatal("FlapProb 0.4 over 100 rounds produced no flap pairs")
+	}
+	if st.Announces() == 0 || st.Withdraws() == 0 {
+		t.Fatalf("stream too quiet: %d announces, %d withdraws", st.Announces(), st.Withdraws())
+	}
+}
+
+// TestStreamEventTimes: every event of a round lands inside [0, Period)
+// and plain (non-flap) events inside the burst window.
+func TestStreamEventTimes(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Rate = 50
+	st, err := NewStream(spec, testPaths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 40; r++ {
+		for _, ev := range st.Next() {
+			if ev.At < 0 || ev.At >= spec.Period {
+				t.Fatalf("round %d: event at %d outside [0, %d)", r, ev.At, spec.Period)
+			}
+			if ev.Withdraw && ev.At >= spec.Burst {
+				t.Fatalf("round %d: withdrawal at %d past burst window %d", r, ev.At, spec.Burst)
+			}
+		}
+	}
+}
+
+func TestCheckable(t *testing.T) {
+	cfg := Config{Spec: Spec{Period: 300}}
+	if !cfg.checkable(0) {
+		t.Fatal("faultless config must check every round")
+	}
+	cfg.Plan = plan(t, 0.2, 600)
+	for r, want := range map[int]bool{0: false, 1: false, 2: true, 3: true} {
+		if got := cfg.checkable(r); got != want {
+			t.Fatalf("horizon 600, period 300: checkable(%d) = %v, want %v", r, got, want)
+		}
+	}
+	cfg.Plan = plan(t, 0.2, 0) // horizonless active plan: never checkable
+	for r := 0; r < 4; r++ {
+		if cfg.checkable(r) {
+			t.Fatalf("horizonless plan: checkable(%d) = true", r)
+		}
+	}
+}

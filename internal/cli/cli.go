@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/churn"
 	"repro/internal/figures"
 	"repro/internal/protocol"
 	"repro/internal/selection"
@@ -152,6 +153,27 @@ func ParseTopogenSpec(s string, base topogen.Spec) (topogen.Spec, error) {
 		"maxmed":     intField(&spec.MaxMED),
 		"corecost":   int64Field(&spec.CoreCost),
 		"accesscost": int64Field(&spec.AccessCost),
+	})
+	if err != nil {
+		return spec, err
+	}
+	return spec, spec.Validate()
+}
+
+// ParseChurnSpec maps a -churn value — a comma-separated key=value list
+// like "rate=40,period=500,flap=0.3" — onto base, overriding only the
+// named fields: seed, prefixes, rate, period, burst, flap. The result is
+// validated, so degenerate workloads (zero rate, burst past the period)
+// are rejected here rather than deep in a soak.
+func ParseChurnSpec(s string, base churn.Spec) (churn.Spec, error) {
+	spec := base
+	err := parseKVList(s, map[string]func(string) error{
+		"seed":     int64Field(&spec.Seed),
+		"prefixes": intField(&spec.Prefixes),
+		"rate":     floatField(&spec.Rate),
+		"period":   int64Field(&spec.Period),
+		"burst":    int64Field(&spec.Burst),
+		"flap":     floatField(&spec.FlapProb),
 	})
 	if err != nil {
 		return spec, err

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/churn"
 	"repro/internal/confed"
 	"repro/internal/figures"
 	"repro/internal/protocol"
@@ -195,6 +196,44 @@ func TestParseWorkloadParams(t *testing.T) {
 	// Unknown-key errors must list the valid keys.
 	_, err = ParseWorkloadParams("widgets=3", base)
 	if err == nil || !strings.Contains(err.Error(), "clusters") {
+		t.Errorf("unknown-key error does not list valid keys: %v", err)
+	}
+}
+
+func TestParseChurnSpec(t *testing.T) {
+	base := churn.DefaultSpec()
+	spec, err := ParseChurnSpec("", base)
+	if err != nil || spec != base {
+		t.Fatalf("empty override changed the workload: %+v, %v", spec, err)
+	}
+	spec, err = ParseChurnSpec(" rate=40 , Period=500,flap=0.3,seed=9", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Rate != 40 || spec.Period != 500 || spec.FlapProb != 0.3 || spec.Seed != 9 {
+		t.Fatalf("overrides not applied: %+v", spec)
+	}
+	if spec.Prefixes != base.Prefixes || spec.Burst != base.Burst {
+		t.Fatalf("untouched fields changed: %+v", spec)
+	}
+	for _, bad := range []string{
+		"widgets=3",  // unknown key
+		"rate",       // no value
+		"rate=abc",   // not a float
+		"rate=-3",    // negative rate fails Validate
+		"rate=0",     // zero rate fails Validate
+		"period=0",   // zero round length
+		"burst=0",    // empty burst window
+		"burst=2000", // burst past the default period
+		"flap=1.5",   // probability out of range
+		"prefixes=0", // no prefixes
+	} {
+		if _, err := ParseChurnSpec(bad, base); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+	// Unknown-key errors must list the valid keys.
+	if _, err := ParseChurnSpec("widgets=3", base); err == nil || !strings.Contains(err.Error(), "rate") {
 		t.Errorf("unknown-key error does not list valid keys: %v", err)
 	}
 }

@@ -153,17 +153,23 @@ func TestParseSpecRoundTrip(t *testing.T) {
 
 func TestParseSpecErrors(t *testing.T) {
 	for _, spec := range []string{
-		"drop",               // not key=value
-		"bogus=1",            // unknown key
-		"drop=x",             // bad float
-		"drop=2",             // out of range
-		"reset=0-1",          // missing timing
-		"reset=01@5+5",       // missing session dash
-		"reset=0-1@5",        // missing downtime
-		"reset=0-1@a+5",      // bad int
-		"horizon=-1",         // negative
-		"reset=0-0@5+5",      // self loop
-		"horizon=10,drop=-1", // probability range
+		"drop",                     // not key=value
+		"bogus=1",                  // unknown key
+		"drop=x",                   // bad float
+		"drop=2",                   // out of range
+		"reset=0-1",                // missing timing
+		"reset=01@5+5",             // missing session dash
+		"reset=0-1@5",              // missing downtime
+		"reset=0-1@a+5",            // bad int
+		"horizon=-1",               // negative
+		"horizon=-5",               // negative, larger magnitude
+		"maxdelay=-1",              // negative delay bound
+		"reset=0-0@5+5",            // self loop
+		"reset=0-1@-5+5",           // negative reset time
+		"reset=0-1@5+0",            // zero downtime
+		"reset=0-1@5+-5",           // negative downtime
+		"horizon=10,drop=-1",       // probability range
+		"horizon=10,reset=0-1@8+5", // reopens after the horizon
 	} {
 		if _, err := ParseSpec(spec); err == nil {
 			t.Errorf("ParseSpec(%q) accepted a malformed spec", spec)

@@ -154,6 +154,7 @@ type Sim struct {
 
 	now      int64
 	events   int
+	mux      router.Mux
 	observer func(string)
 	render   func(router.Event) string
 }
@@ -185,9 +186,13 @@ func NewMulti(systems map[uint32]*topology.System, policy protocol.Policy, opts 
 		touched:   map[[2]bgp.NodeID]map[[2]uint32]int{},
 	}
 	s.render = trace.NewRouterEventRenderer(dom.Base(), dom.Multi())
+	// All core and transport events flow through one multiplexer; the
+	// legacy line trace is its first sink, further sinks (telemetry feeds,
+	// soak harnesses) attach with ObserveEvents before Run.
+	s.mux.Add(s.traceEvent)
 	for u := 0; u < dom.Base().N(); u++ {
 		rt := dom.NewRouter(bgp.NodeID(u), &s.counters)
-		rt.Events(s.routerEvent)
+		rt.Events(s.mux.Dispatch)
 		s.routers = append(s.routers, rt)
 	}
 	return s
@@ -197,8 +202,14 @@ func NewMulti(systems map[uint32]*topology.System, policy protocol.Policy, opts 
 // rendered form of the core's typed event stream.
 func (s *Sim) Observe(fn func(string)) { s.observer = fn }
 
-// routerEvent bridges core events into the legacy line trace.
-func (s *Sim) routerEvent(ev router.Event) {
+// ObserveEvents registers an additional typed-event sink on the
+// simulator's event multiplexer, alongside the line trace. Like
+// Router.Events, registration must happen before the first Run; the sink
+// runs synchronously on the simulator's goroutine.
+func (s *Sim) ObserveEvents(fn func(router.Event)) { s.mux.Add(fn) }
+
+// traceEvent bridges core events into the legacy line trace.
+func (s *Sim) traceEvent(ev router.Event) {
 	if s.observer == nil {
 		return
 	}
@@ -321,7 +332,7 @@ func (s *Sim) sendFrom(u bgp.NodeID) router.SendFunc {
 			// gives a real speaker — and the re-send draws a fresh fate, so
 			// once the plan's horizon passes the message gets through.
 			s.counters.FaultDrops.Add(1)
-			s.routerEvent(router.Event{Kind: router.FaultDrop, Time: s.now, Node: u, Peer: w})
+			s.mux.Dispatch(router.Event{Kind: router.FaultDrop, Time: s.now, Node: u, Peer: w})
 			s.push(&event{time: s.now + dropRTO, kind: evFlush, from: u, to: w})
 			return -1, fmt.Errorf("msgsim: fault plan dropped message %d on %s -> %s",
 				n, s.dom.Base().Name(u), s.dom.Base().Name(w))
@@ -333,7 +344,7 @@ func (s *Sim) sendFrom(u bgp.NodeID) router.SendFunc {
 		if fate.ExtraDelay > 0 {
 			d += fate.ExtraDelay
 			s.counters.FaultDelays.Add(1)
-			s.routerEvent(router.Event{Kind: router.FaultDelay, Time: s.now,
+			s.mux.Dispatch(router.Event{Kind: router.FaultDelay, Time: s.now,
 				Node: u, Peer: w, ReadyAt: fate.ExtraDelay})
 		}
 		at := s.now + d
@@ -342,7 +353,7 @@ func (s *Sim) sendFrom(u bgp.NodeID) router.SendFunc {
 			// ones still in flight. Their stale payloads are discarded at
 			// delivery (see apply), as a sequence-numbered transport would.
 			s.counters.FaultReorders.Add(1)
-			s.routerEvent(router.Event{Kind: router.FaultReorder, Time: s.now, Node: u, Peer: w})
+			s.mux.Dispatch(router.Event{Kind: router.FaultReorder, Time: s.now, Node: u, Peer: w})
 		} else if last := s.lastArr[key]; at < last {
 			at = last // FIFO: never overtake an earlier message
 		}
@@ -364,7 +375,7 @@ func (s *Sim) sendFrom(u bgp.NodeID) router.SendFunc {
 			s.lastArr[key] = dupAt
 			s.counters.Sent.Add(1)
 			s.counters.FaultDups.Add(1)
-			s.routerEvent(router.Event{Kind: router.FaultDuplicate, Time: s.now,
+			s.mux.Dispatch(router.Event{Kind: router.FaultDuplicate, Time: s.now,
 				Node: u, Peer: w, ReadyAt: fate.DupDelay})
 			s.push(&event{time: dupAt, kind: evMessage, from: u, to: w, payload: data, epoch: ep, sseq: n})
 		}
@@ -579,6 +590,11 @@ func (s *Sim) BestFor(prefix uint32, u bgp.NodeID) bgp.PathID {
 
 // Possible returns router u's candidate set for the first prefix.
 func (s *Sim) Possible(u bgp.NodeID) bgp.PathSet { return s.routers[u].Possible(s.dom.Prefixes()[0]) }
+
+// PossibleFor returns router u's candidate set for one prefix.
+func (s *Sim) PossibleFor(prefix uint32, u bgp.NodeID) bgp.PathSet {
+	return s.routers[u].Possible(prefix)
+}
 
 // Upgraded reports whether router u switched to survivor advertisement for
 // one prefix under the Adaptive policy.

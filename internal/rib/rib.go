@@ -7,8 +7,6 @@
 package rib
 
 import (
-	"sort"
-
 	"repro/internal/bgp"
 	"repro/internal/protocol"
 	"repro/internal/selection"
@@ -31,6 +29,12 @@ type RIB struct {
 	policy protocol.Policy
 	opts   selection.Options
 	id     bgp.NodeID
+
+	// peers is the fixed I-BGP peer set in increasing node order. The
+	// adjIn/lastSent key sets never change after New (sessions are
+	// configured, not discovered), so iterating this slice replaces every
+	// per-call map walk and sort on the decision-process hot path.
+	peers []bgp.NodeID
 
 	myExits  bgp.PathSet
 	adjIn    map[bgp.NodeID]*bgp.PathSet
@@ -56,7 +60,8 @@ func New(sys *topology.System, policy protocol.Policy, opts selection.Options, i
 		lastSent: map[bgp.NodeID]*bgp.PathSet{},
 		best:     bgp.None,
 	}
-	for _, w := range sys.Peers(id) {
+	r.peers = sys.Peers(id)
+	for _, w := range r.peers {
 		var a, l bgp.PathSet
 		r.adjIn[w] = &a
 		r.lastSent[w] = &l
@@ -83,8 +88,8 @@ func (r *RIB) BestRoute() (bgp.Route, bool) {
 // the Adj-RIB-Ins.
 func (r *RIB) Possible() bgp.PathSet {
 	out := r.myExits.Clone()
-	for _, set := range r.adjIn {
-		out.Union(*set)
+	for _, w := range r.peers {
+		out.Union(*r.adjIn[w])
 	}
 	return out
 }
@@ -150,8 +155,8 @@ func (r *RIB) learnedFrom(p bgp.ExitPath) int {
 		return p.NextHopID
 	}
 	lf := int(^uint(0) >> 1)
-	for w, set := range r.adjIn {
-		if set.Contains(p.ID) {
+	for _, w := range r.peers {
+		if r.adjIn[w].Contains(p.ID) {
 			if id := r.sys.BGPID(w); id < lf {
 				lf = id
 			}
@@ -169,21 +174,29 @@ func (r *RIB) sourceKind(id bgp.PathID) (kind int, origin bgp.NodeID) {
 	if r.myExits.Contains(id) {
 		return 0, r.id
 	}
-	peers := make([]bgp.NodeID, 0, len(r.adjIn))
-	for w := range r.adjIn {
-		peers = append(peers, w)
-	}
-	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
-	for _, w := range peers {
+	// A path may be present in several Adj-RIB-Ins at once (a client and a
+	// mesh peer both advertise it). Each copy is its own route instance and
+	// the announcement rules apply per instance, so the effective
+	// classification is the most permissive one: a served-peer copy licenses
+	// reflection everywhere no matter how many mesh copies also exist.
+	// Preferring the mesh copy instead is not just lossy, it livelocks: two
+	// mesh reflectors that each hold a client copy reclassify the path as
+	// mesh-learned the moment the other's reflection arrives, withdraw it
+	// from the mesh, lose each other's copy, reclassify it client-learned,
+	// and re-announce — a permanent oscillation that Lemma 7.4 forbids.
+	found := bgp.NodeID(-1)
+	for _, w := range r.peers {
 		if !r.adjIn[w].Contains(id) {
 			continue
 		}
 		if r.sys.ServedBy(w, r.id) {
 			return 1, w
 		}
-		return 2, w
+		if found < 0 {
+			found = w
+		}
 	}
-	return 2, -1
+	return 2, found
 }
 
 // MayAnnounce implements the operational announcement rules of Section 2
@@ -195,6 +208,13 @@ func (r *RIB) sourceKind(id bgp.PathID) (kind int, origin bgp.NodeID) {
 // speaker behaviour.
 func (r *RIB) MayAnnounce(id bgp.PathID, w bgp.NodeID) bool {
 	kind, origin := r.sourceKind(id)
+	return r.allowedTo(kind, origin, w)
+}
+
+// allowedTo applies the announcement rules given a precomputed source
+// classification, letting Refresh classify each path once instead of once
+// per peer.
+func (r *RIB) allowedTo(kind int, origin, w bgp.NodeID) bool {
 	switch kind {
 	case 0: // E-BGP: to everyone.
 		return true
@@ -327,8 +347,23 @@ func (r *RIB) RestoreLastSent(w bgp.NodeID, prev bgp.PathSet) {
 // bestChanged reports whether the best route moved (a "flap").
 func (r *RIB) Refresh() (bestChanged bool, updates []Update) {
 	bestChanged = r.RecomputeBest()
-	for _, w := range r.sys.Peers(r.id) {
-		ann, wd := r.CommitSend(w, r.TargetFor(w))
+	// The advertise set and each path's source classification are
+	// peer-independent; hoist them out of the per-peer loop so one refresh
+	// costs one decision process, not one per session.
+	want := r.advertiseSet().IDs()
+	kinds := make([]int, len(want))
+	origins := make([]bgp.NodeID, len(want))
+	for i, id := range want {
+		kinds[i], origins[i] = r.sourceKind(id)
+	}
+	for _, w := range r.peers {
+		var target bgp.PathSet
+		for i, id := range want {
+			if r.allowedTo(kinds[i], origins[i], w) {
+				target.Add(id)
+			}
+		}
+		ann, wd := r.CommitSend(w, target)
 		if len(ann) > 0 || len(wd) > 0 {
 			updates = append(updates, Update{To: w, Announce: ann, Withdraw: wd})
 		}

@@ -156,6 +156,50 @@ func TestClientRouteReflection(t *testing.T) {
 	}
 }
 
+func TestDualInstanceKeepsClientClassification(t *testing.T) {
+	// The same path arrives from both a mesh peer and a client — two route
+	// instances. The announcement rules apply per instance, so the client
+	// copy keeps licensing reflection everywhere even though the mesh peer
+	// sorts first. (Classifying by the first holder instead livelocks a
+	// reflector pair at scale: each reclassifies the path as mesh-learned
+	// when the other's reflection arrives, withdraws it from the mesh, loses
+	// the mesh copy, and flips back.)
+	b := topology.NewBuilder()
+	k := b.NewCluster()
+	k2 := b.NewCluster()
+	rr := b.Reflector("rr", k)
+	rr2 := b.Reflector("rr2", k2) // lower node id than the client
+	ca := b.Client("ca", k)
+	cb := b.Client("cb", k)
+	b.Link(rr, rr2, 1).Link(rr, ca, 1).Link(rr, cb, 1)
+	p := b.Exit(ca, topology.ExitSpec{NextAS: 1})
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(sys, protocol.Classic, selection.Options{}, rr)
+	r.ApplyUpdate(ca, []bgp.PathID{p}, nil)
+	r.ApplyUpdate(rr2, []bgp.PathID{p}, nil)
+	r.Refresh()
+	if !r.MayAnnounce(p, rr2) {
+		t.Fatal("client-learned route withdrawn from the mesh when a redundant mesh copy arrived")
+	}
+	if r.MayAnnounce(p, ca) {
+		t.Fatal("client route echoed to its originator")
+	}
+	if !r.MayAnnounce(p, cb) {
+		t.Fatal("client route must reach the sibling client")
+	}
+	// The mesh copy alone reverts to non-client rules: downward only.
+	r.ApplyUpdate(ca, nil, []bgp.PathID{p})
+	if r.MayAnnounce(p, rr2) {
+		t.Fatal("mesh-only route echoed to a reflector")
+	}
+	if !r.MayAnnounce(p, cb) {
+		t.Fatal("mesh-only route must still flow downward")
+	}
+}
+
 func TestWaltonPolicyAdvertisesPerAS(t *testing.T) {
 	// Two same-cluster clients with routes through different ASes: the
 	// Walton reflector advertises both, classic only the best.

@@ -1,0 +1,48 @@
+package router
+
+import "sync/atomic"
+
+// Mux fans one typed event stream out to several sinks, so a substrate can
+// feed the trace renderer and a telemetry feed (or any other observer) from
+// the same Router cores without the sinks stepping on each other. Sinks run
+// synchronously in registration order on the emitting goroutine, exactly
+// like a sink installed with Router.Events directly — a Mux adds no
+// buffering and no goroutines.
+//
+// A Mux follows the same set-once-before-start contract as Router.Events:
+// every Add must happen before the first Dispatch. The first Dispatch seals
+// the sink list; a later Add panics instead of racing the running stream.
+// Add and Dispatch must not be called concurrently — wiring happens during
+// single-threaded setup, which is what the seal enforces after the fact.
+type Mux struct {
+	sinks  []func(Event)
+	sealed atomic.Bool
+}
+
+// Add registers one more sink (nil is ignored). It panics once events have
+// started flowing: a sink installed mid-run would see a torn stream, and on
+// the TCP substrate the registration itself would race the speaker
+// goroutines.
+func (m *Mux) Add(fn func(Event)) {
+	if m.sealed.Load() {
+		panic("router: Mux.Add after events started flowing; register sinks before the run starts")
+	}
+	if fn != nil {
+		m.sinks = append(m.sinks, fn)
+	}
+}
+
+// Len returns the number of registered sinks.
+func (m *Mux) Len() int { return len(m.sinks) }
+
+// Dispatch forwards one event to every sink in registration order. The
+// first call seals the Mux against further Adds. Dispatch is a valid
+// Router.Events sink, and with no sinks registered it is nearly free.
+func (m *Mux) Dispatch(ev Event) {
+	if !m.sealed.Load() {
+		m.sealed.Store(true)
+	}
+	for _, fn := range m.sinks {
+		fn(ev)
+	}
+}

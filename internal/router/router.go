@@ -141,6 +141,10 @@ type Router struct {
 
 	counters *Counters
 	sink     func(Event)
+
+	// started latches once the first operation mutates the core; Events
+	// rejects registrations after that point (set-once-before-start).
+	started bool
 }
 
 // NewRouter builds the core for node id, accumulating into counters
@@ -164,8 +168,20 @@ func (d *Domain) NewRouter(id bgp.NodeID, counters *Counters) *Router {
 // ID returns the node this core belongs to.
 func (r *Router) ID() bgp.NodeID { return r.id }
 
-// Events registers the typed event sink (nil disables).
-func (r *Router) Events(fn func(Event)) { r.sink = fn }
+// Events registers the typed event sink (nil disables). The sink is part
+// of the core's wiring, not of its running state: it must be installed
+// before the first operation (inject, withdraw, update, refresh, peer
+// transition) mutates the router. Registering later panics — a sink
+// attached mid-run would observe a torn stream, and on the concurrent TCP
+// substrate the bare field write would race the speaker goroutines. To
+// feed several observers, register a Mux's Dispatch and Add sinks to the
+// Mux before the run starts.
+func (r *Router) Events(fn func(Event)) {
+	if r.started {
+		panic("router: Events registered after the core started; install sinks before the first operation")
+	}
+	r.sink = fn
+}
 
 func (r *Router) emit(ev Event) {
 	if r.sink != nil {
@@ -189,6 +205,7 @@ func (r *Router) MRAI() int64 { return r.mrai }
 
 // Inject records an E-BGP injection of one prefix's path at this router.
 func (r *Router) Inject(now int64, prefix uint32, id bgp.PathID) {
+	r.started = true
 	rb, ok := r.ribs[prefix]
 	if !ok {
 		return
@@ -199,6 +216,7 @@ func (r *Router) Inject(now int64, prefix uint32, id bgp.PathID) {
 
 // WithdrawExternal records an E-BGP withdrawal of one prefix's path.
 func (r *Router) WithdrawExternal(now int64, prefix uint32, id bgp.PathID) {
+	r.started = true
 	rb, ok := r.ribs[prefix]
 	if !ok {
 		return
@@ -213,6 +231,7 @@ func (r *Router) WithdrawExternal(now int64, prefix uint32, id bgp.PathID) {
 // peer whose session is down are a transport bug backstop: discarded and
 // counted as dropped (the session that carried them no longer exists).
 func (r *Router) ApplyUpdate(now int64, from bgp.NodeID, upd *wire.Update) error {
+	r.started = true
 	if r.down[from] {
 		r.counters.Dropped.Add(1)
 		return fmt.Errorf("router: update from down peer %d", from)
@@ -252,6 +271,7 @@ func (r *Router) bounds(prefix uint32) wire.System {
 // per-session MRAI gating. It returns the newly created deferrals the
 // transport must schedule.
 func (r *Router) Refresh(now int64, send SendFunc) []Deferral {
+	r.started = true
 	for _, prefix := range r.dom.prefixes {
 		rb := r.ribs[prefix]
 		old := rb.Best()
@@ -270,7 +290,10 @@ func (r *Router) Refresh(now int64, send SendFunc) []Deferral {
 
 // Reopen marks peer w's scheduled MRAI flush as delivered; the transport
 // calls it when a Deferral fires, immediately before Refresh.
-func (r *Router) Reopen(w bgp.NodeID) { r.pending[w] = false }
+func (r *Router) Reopen(w bgp.NodeID) {
+	r.started = true
+	r.pending[w] = false
+}
 
 // PeerDown records the death of the session to peer w (RFC 4271 §8.2):
 // every route learned from w is flushed from all per-prefix RIBs, the
@@ -280,6 +303,7 @@ func (r *Router) Reopen(w bgp.NodeID) { r.pending[w] = false }
 // propagate to the surviving peers. Idempotent; returns the number of
 // routes flushed.
 func (r *Router) PeerDown(now int64, w bgp.NodeID) int {
+	r.started = true
 	if r.down[w] {
 		return 0
 	}
@@ -300,6 +324,7 @@ func (r *Router) PeerDown(now int64, w bgp.NodeID) int {
 // last-sent memory), restoring the peer's state as BGP route refresh
 // would. Idempotent.
 func (r *Router) PeerUp(now int64, w bgp.NodeID) {
+	r.started = true
 	if !r.down[w] {
 		return
 	}

@@ -146,6 +146,7 @@ type Network struct {
 
 	obsMu    sync.Mutex
 	observer func(router.Event)
+	mux      router.Mux // permanent sinks (Subscribe); sealed at first event
 
 	stopMu   sync.Mutex // serialises Stop against session reopens
 	stopped  bool
@@ -233,21 +234,33 @@ func (n *Network) SetFaults(p *faults.Plan) error {
 
 // Observe registers a typed-event callback. The callback is invoked from
 // the speakers' goroutines, serialized by the network; it must not call
-// back into the network. Pass nil to disable.
+// back into the network. Pass nil to disable. Unlike Subscribe sinks, the
+// observer may be swapped or disabled mid-run (the CLI stops tracing
+// before its final reads this way).
 func (n *Network) Observe(fn func(router.Event)) {
 	n.obsMu.Lock()
 	n.observer = fn
 	n.obsMu.Unlock()
 }
 
-// dispatch fans one core event out to the registered observer. Events are
-// serialized so a printing observer needs no locking of its own.
+// Subscribe registers a permanent additional typed-event sink on the
+// network's event multiplexer — the trace observer and a telemetry feed
+// can watch the same run without stepping on each other. Like
+// Router.Events, subscriptions must be in place before Start: once events
+// flow, the multiplexer is sealed and a late Subscribe panics. Sinks run
+// serialized with the observer and must not call back into the network.
+func (n *Network) Subscribe(fn func(router.Event)) { n.mux.Add(fn) }
+
+// dispatch fans one core event out to the registered observer and every
+// subscribed sink. Events are serialized so a printing observer needs no
+// locking of its own.
 func (n *Network) dispatch(ev router.Event) {
 	n.obsMu.Lock()
 	defer n.obsMu.Unlock()
 	if n.observer != nil {
 		n.observer(ev)
 	}
+	n.mux.Dispatch(ev)
 }
 
 // now is the transport clock: milliseconds since Start.

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server exposes one Feed over HTTP:
+//
+//	GET /events    — newline-delimited JSON: one hello record, then every
+//	                 router event live, with a stats record interleaved
+//	                 every statsEvery (client disconnect ends the stream)
+//	GET /stats     — one aggregate snapshot
+//	GET /counters  — the substrate's raw counter snapshot
+//
+// The endpoint mirrors a BMP monitoring station's view: route events and
+// aggregate meters, observed without participating.
+type Server struct {
+	feed *Feed
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// hello is the first record of an /events stream.
+type hello struct {
+	Type  string `json:"type"`
+	Proto string `json:"proto"`
+	Since int64  `json:"uptimeMs"`
+}
+
+// Serve starts the telemetry endpoint on addr (host:port; port 0 picks a
+// free one — read the result's Addr). It returns as soon as the listener
+// is up; Close stops it.
+func Serve(feed *Feed, addr string, statsEvery time.Duration) (*Server, error) {
+	if statsEvery <= 0 {
+		statsEvery = 2 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	s := &Server{feed: feed, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		s.streamEvents(w, r, statsEvery)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, feed.Stats())
+	})
+	mux.HandleFunc("/counters", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, feed.Stats().Counters)
+	})
+	s.srv = &http.Server{Handler: mux}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the listener's resolved address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close tears the endpoint down; live /events streams end.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// streamEvents serves one live NDJSON subscriber.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, statsEvery time.Duration) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+
+	ch, cancel := s.feed.Subscribe()
+	defer cancel()
+
+	write := func(v any) bool {
+		line, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	if !write(hello{Type: "hello", Proto: "ibgp-soak/1", Since: time.Since(s.feed.start).Milliseconds()}) {
+		return
+	}
+
+	ticker := time.NewTicker(statsEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+			if !write(s.feed.Stats()) {
+				return
+			}
+		case line, ok := <-ch:
+			if !ok {
+				return
+			}
+			if _, err := w.Write(append(line, '\n')); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

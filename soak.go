@@ -1,0 +1,70 @@
+package ibgp
+
+import (
+	"time"
+
+	"repro/internal/churn"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// Churn soaks (package churn): seeded deterministic E-BGP churn workloads
+// driven against either operational substrate for wall-clock durations,
+// continuously asserting the rolling invariants — windowed Lemma 7.4
+// re-convergence after each faultless quiet window, forwarding loop
+// freedom, bounded RIB growth, quiescence-ledger closure. A soak's
+// Aggregate is a pure function of its spec and seed, identical across
+// substrates and runs; only Measured (wall-clock throughput, convergence
+// latency percentiles) varies. Package telemetry adds the BMP-style live
+// plane: a feed subscribing to the typed router event stream, served as
+// newline-delimited JSON over HTTP next to aggregate snapshots.
+type (
+	// ChurnSpec shapes one churn workload (rate, period, burst, flaps).
+	ChurnSpec = churn.Spec
+	// ChurnEvent is one generated E-BGP announce/withdraw action.
+	ChurnEvent = churn.Event
+	// ChurnStream generates the event rounds of one workload.
+	ChurnStream = churn.Stream
+	// SoakConfig parameterises one soak run.
+	SoakConfig = churn.Config
+	// SoakReport is the outcome of one soak on one substrate.
+	SoakReport = churn.Report
+	// SoakAggregate is the deterministic half of a soak report.
+	SoakAggregate = churn.Aggregate
+	// SoakViolation is one failed rolling-invariant check.
+	SoakViolation = churn.Violation
+	// TelemetryFeed fans router events out to live subscribers.
+	TelemetryFeed = telemetry.Feed
+	// TelemetryServer exposes a feed over HTTP (/events, /stats).
+	TelemetryServer = telemetry.Server
+	// TelemetryStats is one aggregate snapshot of a feed.
+	TelemetryStats = telemetry.Stats
+)
+
+// DefaultChurnSpec returns the baseline soak workload.
+func DefaultChurnSpec() ChurnSpec { return churn.DefaultSpec() }
+
+// NewChurnStream builds the deterministic event generator of one workload.
+func NewChurnStream(spec ChurnSpec, paths []PathID) (*ChurnStream, error) {
+	return churn.NewStream(spec, paths)
+}
+
+// SoakSim runs a churn soak on the discrete-event simulator substrate.
+func SoakSim(sys *topology.System, cfg SoakConfig) (*SoakReport, error) {
+	return churn.SoakSim(sys, cfg)
+}
+
+// SoakTCP runs the identical soak over loopback TCP speakers.
+func SoakTCP(sys *topology.System, cfg SoakConfig) (*SoakReport, error) {
+	return churn.SoakTCP(sys, cfg)
+}
+
+// NewTelemetryFeed builds an empty live feed; wire its Sink and binders
+// into a SoakConfig.
+func NewTelemetryFeed() *TelemetryFeed { return telemetry.NewFeed() }
+
+// ServeTelemetry exposes a feed on addr; statsEvery spaces the aggregate
+// records on /events.
+func ServeTelemetry(feed *TelemetryFeed, addr string, statsEvery time.Duration) (*TelemetryServer, error) {
+	return telemetry.Serve(feed, addr, statsEvery)
+}

@@ -1,0 +1,75 @@
+package ibgp
+
+// BenchmarkSoak pins the churn soak harness: sustained message throughput
+// and post-burst convergence latency on the simulator substrate, driven
+// over a mid-size generated ISP topology with every rolling invariant
+// check live. Results go to BENCH_soak.json so the soak trajectory
+// accumulates across commits next to BENCH_router.json.
+
+import (
+	"testing"
+
+	"repro/internal/churn"
+	"repro/internal/protocol"
+	"repro/internal/topogen"
+	"repro/internal/topology"
+)
+
+func BenchmarkSoak(b *testing.B) {
+	spec := topogen.Default()
+	spec.ClientsPerPoP = 5 // mid-size slice of the default family
+	tsp, err := topogen.Generate(spec, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := topology.BuildSpec(tsp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := churn.Config{
+		Spec:   churn.DefaultSpec(),
+		Rounds: 8,
+		Policy: protocol.Modified,
+		MRAI:   10,
+	}
+
+	var rep *churn.Report
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err = churn.SoakSim(sys, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.OK() {
+			b.Fatalf("soak violations: %+v", rep.Violations)
+		}
+	}
+	b.StopTimer()
+
+	b.ReportMetric(rep.Measured.MsgsPerSec, "msgs/sec")
+	b.ReportMetric(float64(rep.Measured.Convergence.P99), "p99-converge")
+
+	record := struct {
+		Job         string             `json:"job"`
+		Routers     int                `json:"routers"`
+		Spec        string             `json:"spec"`
+		Rounds      int                `json:"rounds"`
+		Events      int                `json:"events"`
+		Messages    int64              `json:"messages"`
+		MsgsPerSec  float64            `json:"msgs_per_sec"`
+		Convergence churn.LatencyStats `json:"convergence"`
+		StateHash   string             `json:"state_hash"`
+	}{
+		Job:         "soak-sim/topogen-default-5clients-seed1",
+		Routers:     sys.N(),
+		Spec:        cfg.Spec.String(),
+		Rounds:      cfg.Rounds,
+		Events:      rep.Agg.Events,
+		Messages:    rep.Measured.Counters.Sent,
+		MsgsPerSec:  rep.Measured.MsgsPerSec,
+		Convergence: rep.Measured.Convergence,
+		StateHash:   rep.Agg.StateHash,
+	}
+	writeBenchJSON(b, "BENCH_soak.json", record)
+}
