@@ -149,7 +149,7 @@ func main() {
 			fatal(err)
 		}
 		defer srv.Close()
-		cfg.Events = feed.Sink
+		cfg.EventsBatch = feed.SinkBatch
 		cfg.BindCounters = feed.BindCounters
 		cfg.Latency = feed.RecordConvergence
 		fmt.Fprintf(os.Stderr, "ibgpsoak: telemetry on http://%s (/events, /stats, /counters)\n", srv.Addr())

@@ -80,6 +80,24 @@ var passRegistryPackages = []string{
 	"internal/lint",
 }
 
+// pooledWirePackages are the import-path suffixes of the wire hot path:
+// the substrates that serialise every routing message of a run. There the
+// codec must be driven through wire.AppendUpdate / wire.Append into a
+// reused or pooled buffer — wire.Encode allocates a fresh []byte per
+// message, which is exactly the per-message garbage the zero-alloc wire
+// path removed. Test files stay exempt: a one-shot Encode in a test is
+// convenience, not a hot path.
+var pooledWirePackages = []string{
+	"internal/msgsim",
+	"internal/speaker",
+}
+
+// freshBufWireFuncs are the wire codec entry points that allocate a fresh
+// output buffer on every call.
+var freshBufWireFuncs = map[string]bool{
+	"Encode": true,
+}
+
 // globalRandFuncs are the top-level math/rand functions that draw from the
 // shared, process-global source. Every random draw in internal/... must come
 // from an explicitly seeded *rand.Rand (rand.New(rand.NewSource(seed))):
@@ -229,6 +247,9 @@ func Analyze(dirs []string) ([]Finding, error) {
 			if hot && !strings.HasSuffix(path, "_test.go") {
 				a.checkHotKey(file)
 			}
+			if inPooledWirePackage(p.dir) && !strings.HasSuffix(path, "_test.go") {
+				a.checkWireEncode(file)
+			}
 		}
 		if inPassRegistryPackage(p.dir) {
 			a.checkPassCoverage(p)
@@ -257,6 +278,16 @@ func inDetPackage(dir string) bool {
 func inPassRegistryPackage(dir string) bool {
 	d := filepath.ToSlash(dir)
 	for _, suffix := range passRegistryPackages {
+		if strings.HasSuffix(d, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func inPooledWirePackage(dir string) bool {
+	d := filepath.ToSlash(dir)
+	for _, suffix := range pooledWirePackages {
 		if strings.HasSuffix(d, suffix) {
 			return true
 		}
@@ -580,6 +611,45 @@ func (a *analyzer) checkHotKey(file *ast.File) {
 			return true
 		})
 	}
+}
+
+// checkWireEncode flags calls of fresh-buffer wire codec functions in the
+// wire hot path (internal/msgsim, internal/speaker, non-test files):
+// wire.Encode allocates a new []byte per message, and a substrate that
+// serialises every routing message of a run must instead reuse buffers via
+// wire.AppendUpdate / wire.Append (freelist on msgsim, sync.Pool on the
+// speaker). The import's local name is tracked so aliased imports don't
+// dodge the check.
+func (a *analyzer) checkWireEncode(file *ast.File) {
+	wireName := ""
+	for _, imp := range file.Imports {
+		if !strings.HasSuffix(strings.Trim(imp.Path.Value, `"`), "internal/wire") {
+			continue
+		}
+		wireName = "wire"
+		if imp.Name != nil {
+			wireName = imp.Name.Name
+		}
+	}
+	if wireName == "" || wireName == "_" || wireName == "." {
+		return
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !freshBufWireFuncs[sel.Sel.Name] {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == wireName && id.Obj == nil {
+			a.report(call.Pos(), "wire-encode",
+				"%s.%s allocates a fresh buffer per message in the wire hot path — "+
+					"use %s.AppendUpdate into a pooled or reused buffer instead", wireName, sel.Sel.Name, wireName)
+		}
+		return true
+	})
 }
 
 // checkEmptyInterface flags the pre-generics spelling interface{}: the

@@ -492,6 +492,89 @@ func main() {
 	}
 }
 
+// TestSeededWireEncode proves the wire-encode check flags fresh-buffer
+// wire.Encode calls in the wire hot-path packages (including aliased
+// imports), while leaving test files, other packages, the pooled
+// AppendUpdate entry point, and locally-shadowed identifiers alone.
+func TestSeededWireEncode(t *testing.T) {
+	findings := analyzeTree(t, map[string]string{
+		"internal/msgsim/sim.go": `package msgsim
+
+import "repro/internal/wire"
+
+func send(u *wire.Update) ([]byte, error) {
+	return wire.Encode(u)
+}
+
+func sendPooled(buf []byte, u *wire.Update) ([]byte, error) {
+	return wire.AppendUpdate(buf, u)
+}
+`,
+		"internal/speaker/out.go": `package speaker
+
+import w "repro/internal/wire"
+
+func serialize(u *w.Update) ([]byte, error) {
+	return w.Encode(u)
+}
+`,
+		"internal/speaker/out_test.go": `package speaker
+
+import "repro/internal/wire"
+
+func encodeForTest(u *wire.Update) ([]byte, error) {
+	return wire.Encode(u)
+}
+`,
+		"internal/msgsim/shadow.go": `package msgsim
+
+type codec struct{}
+
+func (codec) Encode(u any) ([]byte, error) { return nil, nil }
+
+func local(u any) ([]byte, error) {
+	var wire codec
+	return wire.Encode(u)
+}
+`,
+		"internal/churn/soak.go": `package churn
+
+import "repro/internal/wire"
+
+func snapshot(u *wire.Update) ([]byte, error) {
+	return wire.Encode(u)
+}
+`,
+	})
+	if !hasFinding(findings, "wire-encode", "wire.Encode") {
+		t.Errorf("fresh-buffer wire.Encode in internal/msgsim not flagged; findings: %v", findings)
+	}
+	if !hasFinding(findings, "wire-encode", "w.Encode") {
+		t.Errorf("aliased wire.Encode in internal/speaker not flagged; findings: %v", findings)
+	}
+	count := 0
+	for _, f := range findings {
+		if f.Check == "wire-encode" {
+			count++
+			if strings.HasSuffix(f.Pos.Filename, "_test.go") {
+				t.Errorf("wire-encode flagged a test file: %v", f)
+			}
+			if strings.Contains(f.Pos.Filename, "churn") {
+				t.Errorf("wire-encode flagged a package outside the wire hot path: %v", f)
+			}
+			if strings.Contains(f.Pos.Filename, "shadow") {
+				t.Errorf("wire-encode flagged a locally-shadowed identifier: %v", f)
+			}
+			if strings.Contains(f.Msg, "AppendUpdate(") {
+				t.Errorf("wire-encode flagged the pooled AppendUpdate entry point: %v", f)
+			}
+		}
+	}
+	if count != 2 {
+		t.Errorf("want exactly 2 wire-encode findings, got %d: %v", count, findings)
+	}
+}
+
 // TestSeededPassCoverage proves the pass-coverage check fires for a lint
 // pass registered in non-test code but never named in the package's own
 // tests, stays quiet for covered passes (including names embedded inside

@@ -141,6 +141,18 @@ func (s *PathSet) Add(id PathID) {
 	s.words[w] |= 1 << (uint(id) % 64)
 }
 
+// Grow pre-sizes the word storage to hold IDs in [0, n) without further
+// allocation. Membership is unchanged: the new words are zero.
+func (s *PathSet) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	w := (n + 63) / 64
+	for len(s.words) < w {
+		s.words = append(s.words, 0)
+	}
+}
+
 // Remove deletes id from the set if present.
 func (s *PathSet) Remove(id PathID) {
 	if id < 0 {
@@ -191,6 +203,20 @@ func (s PathSet) IDs() []PathID {
 		}
 	}
 	return ids
+}
+
+// AppendIDs appends the member PathIDs in increasing order to dst and
+// returns the extended slice — the allocation-free counterpart of IDs for
+// hot paths that keep a reusable scratch slice.
+func (s PathSet) AppendIDs(dst []PathID) []PathID {
+	for wi, w := range s.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			dst = append(dst, PathID(wi*64+bit))
+			w &^= 1 << uint(bit)
+		}
+	}
+	return dst
 }
 
 // ForEach calls fn for every member in increasing order, without

@@ -57,6 +57,11 @@ type Config struct {
 	// Events, when set, receives every typed router event of the run —
 	// the hook a telemetry feed's Sink plugs into.
 	Events func(router.Event)
+	// EventsBatch, when set, receives each dispatch round's events as one
+	// slice (valid only until it returns) — the hook a telemetry feed's
+	// SinkBatch plugs into. It amortises per-event observer overhead and
+	// may be set together with or instead of Events.
+	EventsBatch func([]router.Event)
 	// BindCounters, when set, is called once before the run starts with
 	// the substrate's live counters getter, so a telemetry feed can serve
 	// counter snapshots while the soak runs.
@@ -450,6 +455,9 @@ func SoakSim(sys *topology.System, cfg Config) (*Report, error) {
 	if cfg.Events != nil {
 		s.ObserveEvents(cfg.Events)
 	}
+	if cfg.EventsBatch != nil {
+		s.ObserveEventsBatch(cfg.EventsBatch)
+	}
 	if cfg.BindCounters != nil {
 		cfg.BindCounters(s.Counters)
 	}
@@ -525,6 +533,9 @@ func SoakTCP(sys *topology.System, cfg Config) (*Report, error) {
 	}
 	if cfg.Events != nil {
 		n.Subscribe(cfg.Events)
+	}
+	if cfg.EventsBatch != nil {
+		n.SubscribeBatch(cfg.EventsBatch)
 	}
 	if cfg.BindCounters != nil {
 		cfg.BindCounters(n.Counters)

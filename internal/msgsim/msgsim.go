@@ -5,9 +5,11 @@
 // per-peer diff/coalesce, MRAI pacing) lives in the shared core of package
 // router; this package is only the transport: an event heap with pluggable
 // per-message delays, per-session FIFO order, and a virtual clock. Every
-// UPDATE is carried as genuine wire bytes — encoded with wire.Encode at
-// the sender and decoded with wire.Decode at the receiver — so each
-// simulated hop also exercises the codec the TCP speakers use.
+// UPDATE is carried as genuine wire bytes — framed with wire.AppendUpdate
+// into a pooled buffer at the sender and consumed through a zero-copy
+// wire.UpdateView at the receiver — so each simulated hop also exercises
+// the codec the TCP speakers use, without per-hop allocations: events and
+// their payload buffers recycle through freelists on delivery.
 //
 // Message delays are pluggable and may be scripted, which reproduces the
 // Figure 3 / Table 1 executions where timing alone decides whether the
@@ -138,12 +140,25 @@ type Sim struct {
 	queue eventHeap
 	seq   int
 
+	// Freelists: delivered events and their payload buffers are recycled
+	// instead of garbage. Ownership is exclusive — every queued event owns
+	// its payload (a fault-duplicate gets a copied buffer), and recycle in
+	// Run is the single point that returns both. sends caches one SendFunc
+	// closure per router so refresh doesn't rebuild it every activation.
+	free  []*event
+	bufs  [][]byte
+	sends []router.SendFunc
+
 	sentSeq map[[2]bgp.NodeID]int   // per-session sent counter
 	lastArr map[[2]bgp.NodeID]int64 // per-session last delivery time (FIFO clamp)
 
 	sessEpoch map[[2]bgp.NodeID]int  // undirected session incarnation
 	sessDown  map[[2]bgp.NodeID]bool // undirected session liveness
 	delivSeq  map[[2]bgp.NodeID]int  // per-session highest delivered sseq
+	// reorderSeen is set at the first reorder-exempt send of the run; until
+	// then per-direction delivery is provably FIFO (the clamp in sendFrom)
+	// and the sequence maps are skipped entirely.
+	reorderSeen bool
 	// touched records, per direction and per (prefix, path), the highest
 	// sseq of a delivered update that announced or withdrew that route.
 	// It sequences reordered deliveries at route granularity: an update
@@ -152,11 +167,13 @@ type Sim struct {
 	// update already spoke for the same route.
 	touched map[[2]bgp.NodeID]map[[2]uint32]int
 
-	now      int64
-	events   int
-	mux      router.Mux
-	observer func(string)
-	render   func(router.Event) string
+	now        int64
+	events     int
+	mux        router.Mux
+	evWired    bool // routers' event streams attached to mux
+	traceWired bool // traceEvent sink registered
+	observer   func(string)
+	render     func(router.Event) string
 }
 
 // New creates a simulator over sys with the given advertisement policy,
@@ -186,27 +203,67 @@ func NewMulti(systems map[uint32]*topology.System, policy protocol.Policy, opts 
 		touched:   map[[2]bgp.NodeID]map[[2]uint32]int{},
 	}
 	s.render = trace.NewRouterEventRenderer(dom.Base(), dom.Multi())
-	// All core and transport events flow through one multiplexer; the
-	// legacy line trace is its first sink, further sinks (telemetry feeds,
-	// soak harnesses) attach with ObserveEvents before Run.
-	s.mux.Add(s.traceEvent)
+	// All core and transport events flow through one multiplexer; sinks
+	// (the line trace via Observe, telemetry feeds and soak harnesses via
+	// ObserveEvents) attach before Run. The routers' streams hook in
+	// lazily on the first registration — see wireEvents — so a sim nobody
+	// watches never pays for event emission at all.
 	for u := 0; u < dom.Base().N(); u++ {
 		rt := dom.NewRouter(bgp.NodeID(u), &s.counters)
-		rt.Events(s.mux.Dispatch)
 		s.routers = append(s.routers, rt)
+		s.sends = append(s.sends, s.sendFrom(bgp.NodeID(u)))
 	}
 	return s
 }
 
+// wireEvents attaches the routers' event streams to the simulator's
+// multiplexer. It runs on the first observer registration, before the run
+// starts (Router.Events enforces this): an unobserved sim keeps every
+// router's sink nil, so the cores skip event construction and the
+// UpdateReceived record copy entirely on the hot path.
+func (s *Sim) wireEvents() {
+	if s.evWired {
+		return
+	}
+	s.evWired = true
+	for _, rt := range s.routers {
+		// Emissions buffer on the mux and flush once per activation round
+		// (see Run); Batch deep-copies each event's Update out of the
+		// core's reusable scratch, so buffering is safe.
+		rt.Events(s.mux.Batch)
+	}
+}
+
 // Observe registers a line-oriented trace callback; the lines are the
 // rendered form of the core's typed event stream.
-func (s *Sim) Observe(fn func(string)) { s.observer = fn }
+func (s *Sim) Observe(fn func(string)) {
+	if fn != nil && !s.traceWired {
+		s.traceWired = true
+		s.wireEvents()
+		s.mux.Add(s.traceEvent)
+	}
+	s.observer = fn
+}
 
 // ObserveEvents registers an additional typed-event sink on the
 // simulator's event multiplexer, alongside the line trace. Like
 // Router.Events, registration must happen before the first Run; the sink
-// runs synchronously on the simulator's goroutine.
-func (s *Sim) ObserveEvents(fn func(router.Event)) { s.mux.Add(fn) }
+// runs synchronously on the simulator's goroutine, receiving each
+// activation round's events in emission order when the round's batch
+// flushes.
+func (s *Sim) ObserveEvents(fn func(router.Event)) {
+	s.wireEvents()
+	s.mux.Add(fn)
+}
+
+// ObserveEventsBatch registers a batch-aware sink: it receives each
+// activation round's events as one slice (valid only until it returns),
+// amortising per-event overhead. Same before-Run contract as
+// ObserveEvents.
+func (s *Sim) ObserveEventsBatch(fn func([]router.Event)) {
+	s.wireEvents()
+	s.mux.AddBatch(fn)
+}
 
 // traceEvent bridges core events into the legacy line trace.
 func (s *Sim) traceEvent(ev router.Event) {
@@ -269,10 +326,10 @@ func (s *Sim) SetFaults(p *faults.Plan) error {
 		}
 		// One event per endpoint and transition, so each router runs its
 		// own flush-and-refresh in the normal event loop.
-		s.push(&event{time: r.At, kind: evPeerDown, from: r.A, to: r.B})
-		s.push(&event{time: r.At, kind: evPeerDown, from: r.B, to: r.A})
-		s.push(&event{time: r.At + r.Downtime, kind: evPeerUp, from: r.A, to: r.B})
-		s.push(&event{time: r.At + r.Downtime, kind: evPeerUp, from: r.B, to: r.A})
+		s.pushEv(event{time: r.At, kind: evPeerDown, from: r.A, to: r.B})
+		s.pushEv(event{time: r.At, kind: evPeerDown, from: r.B, to: r.A})
+		s.pushEv(event{time: r.At + r.Downtime, kind: evPeerUp, from: r.A, to: r.B})
+		s.pushEv(event{time: r.At + r.Downtime, kind: evPeerUp, from: r.B, to: r.A})
 	}
 	return nil
 }
@@ -282,7 +339,7 @@ func (s *Sim) InjectAt(time int64, id bgp.PathID) { s.InjectPrefixAt(time, 0, id
 
 // InjectPrefixAt schedules the E-BGP injection of one prefix's path.
 func (s *Sim) InjectPrefixAt(time int64, prefix uint32, id bgp.PathID) {
-	s.push(&event{time: time, kind: evInject, prefix: prefix, path: id})
+	s.pushEv(event{time: time, kind: evInject, prefix: prefix, path: id})
 }
 
 // WithdrawAt schedules the E-BGP withdrawal of a prefix-0 path.
@@ -290,7 +347,7 @@ func (s *Sim) WithdrawAt(time int64, id bgp.PathID) { s.WithdrawPrefixAt(time, 0
 
 // WithdrawPrefixAt schedules the E-BGP withdrawal of one prefix's path.
 func (s *Sim) WithdrawPrefixAt(time int64, prefix uint32, id bgp.PathID) {
-	s.push(&event{time: time, kind: evWithdraw, prefix: prefix, path: id})
+	s.pushEv(event{time: time, kind: evWithdraw, prefix: prefix, path: id})
 }
 
 // InjectAll schedules every exit path of every prefix at time 0.
@@ -308,12 +365,61 @@ func (s *Sim) push(e *event) {
 	heap.Push(&s.queue, e)
 }
 
+// pushEv enqueues one event, drawing its carrier from the freelist. The
+// event value's payload, if any, transfers ownership to the queue.
+func (s *Sim) pushEv(e event) {
+	ev := s.alloc()
+	*ev = e
+	s.push(ev)
+}
+
+// alloc pops a recycled event carrier, or makes a fresh one.
+func (s *Sim) alloc() *event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+// recycle returns one delivered event and its payload buffer to the
+// freelists. Only Run calls it, after apply has fully consumed the event:
+// receivers decode through a view of the payload and never retain it.
+func (s *Sim) recycle(e *event) {
+	if e.payload != nil {
+		s.putBuf(e.payload)
+	}
+	*e = event{}
+	s.free = append(s.free, e)
+}
+
+// getBuf pops a recycled payload buffer (length 0), or makes a fresh one.
+func (s *Sim) getBuf() []byte {
+	if n := len(s.bufs); n > 0 {
+		b := s.bufs[n-1]
+		s.bufs = s.bufs[:n-1]
+		return b[:0]
+	}
+	return make([]byte, 0, 256)
+}
+
+// putBuf returns a payload buffer to the freelist.
+func (s *Sim) putBuf(b []byte) {
+	if cap(b) > 0 {
+		s.bufs = append(s.bufs, b)
+	}
+}
+
 // sendFrom builds the transport callback for router u: encode the UPDATE
 // to wire bytes, decide its fault fate, pick the delay, clamp to FIFO
 // order (unless a Reorder fate exempts it) and enqueue delivery.
 func (s *Sim) sendFrom(u bgp.NodeID) router.SendFunc {
 	return func(w bgp.NodeID, upd *wire.Update) (int64, error) {
-		data, err := wire.Encode(*upd)
+		// Frame into a recycled buffer: the core's scratch Update must be
+		// consumed before this callback returns, and the bytes become the
+		// queued event's exclusively owned payload.
+		data, err := wire.AppendUpdate(s.getBuf(), upd)
 		if err != nil {
 			// The core only produces well-formed updates; an encode
 			// failure is a codec bug and must not be silently dropped.
@@ -332,8 +438,8 @@ func (s *Sim) sendFrom(u bgp.NodeID) router.SendFunc {
 			// gives a real speaker — and the re-send draws a fresh fate, so
 			// once the plan's horizon passes the message gets through.
 			s.counters.FaultDrops.Add(1)
-			s.mux.Dispatch(router.Event{Kind: router.FaultDrop, Time: s.now, Node: u, Peer: w})
-			s.push(&event{time: s.now + dropRTO, kind: evFlush, from: u, to: w})
+			s.mux.Batch(router.Event{Kind: router.FaultDrop, Time: s.now, Node: u, Peer: w})
+			s.pushEv(event{time: s.now + dropRTO, kind: evFlush, from: u, to: w})
 			return -1, fmt.Errorf("msgsim: fault plan dropped message %d on %s -> %s",
 				n, s.dom.Base().Name(u), s.dom.Base().Name(w))
 		}
@@ -344,7 +450,7 @@ func (s *Sim) sendFrom(u bgp.NodeID) router.SendFunc {
 		if fate.ExtraDelay > 0 {
 			d += fate.ExtraDelay
 			s.counters.FaultDelays.Add(1)
-			s.mux.Dispatch(router.Event{Kind: router.FaultDelay, Time: s.now,
+			s.mux.Batch(router.Event{Kind: router.FaultDelay, Time: s.now,
 				Node: u, Peer: w, ReadyAt: fate.ExtraDelay})
 		}
 		at := s.now + d
@@ -353,7 +459,8 @@ func (s *Sim) sendFrom(u bgp.NodeID) router.SendFunc {
 			// ones still in flight. Their stale payloads are discarded at
 			// delivery (see apply), as a sequence-numbered transport would.
 			s.counters.FaultReorders.Add(1)
-			s.mux.Dispatch(router.Event{Kind: router.FaultReorder, Time: s.now, Node: u, Peer: w})
+			s.reorderSeen = true
+			s.mux.Batch(router.Event{Kind: router.FaultReorder, Time: s.now, Node: u, Peer: w})
 		} else if last := s.lastArr[key]; at < last {
 			at = last // FIFO: never overtake an earlier message
 		}
@@ -361,7 +468,7 @@ func (s *Sim) sendFrom(u bgp.NodeID) router.SendFunc {
 			s.lastArr[key] = at
 		}
 		ep := s.sessEpoch[skey(u, w)]
-		s.push(&event{time: at, kind: evMessage, from: u, to: w, payload: data, epoch: ep, sseq: n})
+		s.pushEv(event{time: at, kind: evMessage, from: u, to: w, payload: data, epoch: ep, sseq: n})
 		if fate.Duplicate {
 			// The copy is one more message on the wire: count it as Sent so
 			// the quiescence ledger (Sent == Received+Rejected+Dropped)
@@ -375,9 +482,13 @@ func (s *Sim) sendFrom(u bgp.NodeID) router.SendFunc {
 			s.lastArr[key] = dupAt
 			s.counters.Sent.Add(1)
 			s.counters.FaultDups.Add(1)
-			s.mux.Dispatch(router.Event{Kind: router.FaultDuplicate, Time: s.now,
+			s.mux.Batch(router.Event{Kind: router.FaultDuplicate, Time: s.now,
 				Node: u, Peer: w, ReadyAt: fate.DupDelay})
-			s.push(&event{time: dupAt, kind: evMessage, from: u, to: w, payload: data, epoch: ep, sseq: n})
+			// The copy gets its own pooled payload: each queued event owns
+			// its buffer exclusively, or delivery-time recycling would hand
+			// one buffer back twice.
+			dup := append(s.getBuf(), data...)
+			s.pushEv(event{time: dupAt, kind: evMessage, from: u, to: w, payload: dup, epoch: ep, sseq: n})
 		}
 		return at, nil
 	}
@@ -386,8 +497,8 @@ func (s *Sim) sendFrom(u bgp.NodeID) router.SendFunc {
 // refresh runs the core refresh for one router and schedules any MRAI
 // reopen callbacks it asks for.
 func (s *Sim) refresh(u bgp.NodeID) {
-	for _, d := range s.routers[u].Refresh(s.now, s.sendFrom(u)) {
-		s.push(&event{time: d.ReadyAt, kind: evFlush, from: u, to: d.To})
+	for _, d := range s.routers[u].Refresh(s.now, s.sends[u]) {
+		s.pushEv(event{time: d.ReadyAt, kind: evFlush, from: u, to: d.To})
 	}
 }
 
@@ -437,32 +548,21 @@ func (s *Sim) apply(ev *event) {
 			s.counters.Dropped.Add(1)
 			return
 		}
-		msg, _, err := wire.Decode(ev.payload)
+		v, _, err := wire.DecodeView(ev.payload)
 		if err != nil {
+			// Includes wire.ErrNotUpdate: only UPDATEs travel as payloads.
 			panic(fmt.Sprintf("msgsim: decode on %s -> %s: %v",
 				s.dom.Base().Name(ev.from), s.dom.Base().Name(ev.to), err))
 		}
-		upd, ok := msg.(wire.Update)
-		if !ok {
-			panic(fmt.Sprintf("msgsim: non-UPDATE message %T in flight", msg))
+		// Sequence bookkeeping exists only to survive reorder-exempt
+		// messages overtaking older ones; every other send is FIFO-clamped
+		// per direction (see sendFrom), so until the fault plan produces
+		// the first exempt send the maps stay untouched and unread.
+		if s.reorderSeen {
+			s.applySequenced(ev, v)
+			return
 		}
-		dk := [2]bgp.NodeID{ev.from, ev.to}
-		if ev.sseq < s.delivSeq[dk] {
-			// Overtaken by a reordered later message. The update is a diff,
-			// not a superset of its successors, so it cannot simply be
-			// discarded: a route it announces that no later update touched
-			// would be lost forever while the run still quiesces (breaking
-			// re-convergence to the Lemma 7.4 configuration). Instead it is
-			// sequenced at route granularity: only the entries a newer
-			// delivered update already spoke for are dropped, so the final
-			// receiver state matches the sender's Adj-RIB-Out whatever the
-			// delivery order.
-			upd = s.filterStale(dk, ev.sseq, upd)
-		} else {
-			s.delivSeq[dk] = ev.sseq
-			s.recordTouched(dk, ev.sseq, &upd)
-		}
-		if err := s.routers[ev.to].ApplyUpdate(s.now, ev.from, &upd); err != nil {
+		if err := s.routers[ev.to].ApplyUpdateView(s.now, ev.from, v); err != nil {
 			panic(fmt.Sprintf("msgsim: apply at %s: %v", s.dom.Base().Name(ev.to), err))
 		}
 	case evFlush:
@@ -497,13 +597,45 @@ func (s *Sim) touchMap(dk [2]bgp.NodeID) map[[2]uint32]int {
 	return m
 }
 
-// recordTouched marks every route upd speaks for as last touched by sseq n.
-func (s *Sim) recordTouched(dk [2]bgp.NodeID, n int, upd *wire.Update) {
+// applySequenced delivers one message on a run where reordering has
+// become possible (a reorder-exempt send already happened): the
+// per-session sequence maps are maintained, and an overtaken update is
+// sequenced at route granularity instead of applied verbatim.
+func (s *Sim) applySequenced(ev *event, v wire.UpdateView) {
+	dk := [2]bgp.NodeID{ev.from, ev.to}
+	if ev.sseq < s.delivSeq[dk] {
+		// Overtaken by a reordered later message. The update is a diff,
+		// not a superset of its successors, so it cannot simply be
+		// discarded: a route it announces that no later update touched
+		// would be lost forever while the run still quiesces (breaking
+		// re-convergence to the Lemma 7.4 configuration). Instead it is
+		// sequenced at route granularity: only the entries a newer
+		// delivered update already spoke for are dropped, so the final
+		// receiver state matches the sender's Adj-RIB-Out whatever the
+		// delivery order. Cold path (fault-injected reorders only), so
+		// materialising the view is fine.
+		upd := s.filterStale(dk, ev.sseq, v.Update())
+		if err := s.routers[ev.to].ApplyUpdate(s.now, ev.from, &upd); err != nil {
+			panic(fmt.Sprintf("msgsim: apply at %s: %v", s.dom.Base().Name(ev.to), err))
+		}
+		return
+	}
+	s.delivSeq[dk] = ev.sseq
+	s.recordTouched(dk, ev.sseq, v)
+	if err := s.routers[ev.to].ApplyUpdateView(s.now, ev.from, v); err != nil {
+		panic(fmt.Sprintf("msgsim: apply at %s: %v", s.dom.Base().Name(ev.to), err))
+	}
+}
+
+// recordTouched marks every route v speaks for as last touched by sseq n.
+func (s *Sim) recordTouched(dk [2]bgp.NodeID, n int, v wire.UpdateView) {
 	m := s.touchMap(dk)
-	for _, wd := range upd.Withdrawn {
+	for i, nw := 0, v.NumWithdrawn(); i < nw; i++ {
+		wd := v.WithdrawnAt(i)
 		m[[2]uint32{wd.Prefix, wd.PathID}] = n
 	}
-	for _, rec := range upd.Announced {
+	for i, na := 0, v.NumAnnounced(); i < na; i++ {
+		rec := v.AnnouncedAt(i)
 		m[[2]uint32{rec.Prefix, rec.PathID}] = n
 	}
 }
@@ -553,14 +685,20 @@ func (s *Sim) Run(maxEvents int) Result {
 		s.now = ev.time
 		s.events++
 		who := s.target(ev)
+		now := ev.time
 		s.apply(ev)
+		s.recycle(ev)
 		// Batch: drain all same-instant events destined to this router.
-		for len(s.queue) > 0 && s.queue[0].time == ev.time && s.target(s.queue[0]) == who {
+		for len(s.queue) > 0 && s.queue[0].time == now && s.target(s.queue[0]) == who {
 			next := heap.Pop(&s.queue).(*event)
 			s.events++
 			s.apply(next)
+			s.recycle(next)
 		}
 		s.refresh(who)
+		// One activation round is complete: deliver its buffered events to
+		// the observers as a single batch, in emission order.
+		s.mux.Flush()
 	}
 	res := Result{
 		Quiesced: len(s.queue) == 0,

@@ -47,6 +47,31 @@ type RIB struct {
 	flaps    int
 	heldBest bgp.PathSet
 	upgraded bool
+
+	// scr is the per-refresh-round reusable storage that makes the
+	// RecomputeBest → PrepareFlush → per-peer TargetInto/CommitFlushAppend
+	// cycle allocation-free once warm. Single-owner like the RIB itself.
+	scr scratch
+}
+
+// scratch holds the decision-process working set. Every slice is reused
+// via the append(x[:0], ...) idiom; every PathSet via Copy/Clear.
+type scratch struct {
+	possible bgp.PathSet     // candidate path IDs
+	ids      []bgp.PathID    // possible, flattened
+	cands    []bgp.Route     // materialised candidate routes (stable)
+	sel      []bgp.Route     // consumed by BestInPlace (reordered/truncated)
+	paths    []bgp.ExitPath  // consumed by SurvivorsBInPlace
+	byAS     map[bgp.ASN]int // MED minima scratch for SurvivorsBInPlace
+
+	adv     bgp.PathSet  // advertise set (PrepareFlush)
+	want    []bgp.PathID // adv, flattened
+	kinds   []int        // sourceKind per want entry
+	origins []bgp.NodeID // origin per want entry
+
+	target bgp.PathSet  // per-peer target (TargetInto)
+	tids   []bgp.PathID // target, flattened (diffing)
+	lids   []bgp.PathID // lastSent, flattened (diffing)
 }
 
 // New returns an empty RIB for router id.
@@ -65,6 +90,32 @@ func New(sys *topology.System, policy protocol.Policy, opts selection.Options, i
 		var a, l bgp.PathSet
 		r.adjIn[w] = &a
 		r.lastSent[w] = &l
+	}
+	// Pre-size the decision-process scratch to the topology's bounds (every
+	// working set is at most the exit-path count), so short-lived routers —
+	// a soak round's fresh sim, a census shard — don't pay append-growth
+	// allocations on their first refreshes before the scratch warms. The
+	// same-typed slices share one backing array each, sliced with full cap
+	// so appends can never cross into a neighbour.
+	n := sys.NumExits()
+	pid := make([]bgp.PathID, 4*n)
+	r.scr.ids = pid[0*n : 0*n : 1*n]
+	r.scr.want = pid[1*n : 1*n : 2*n]
+	r.scr.tids = pid[2*n : 2*n : 3*n]
+	r.scr.lids = pid[3*n : 3*n : 4*n]
+	rts := make([]bgp.Route, 2*n)
+	r.scr.cands = rts[0:0:n]
+	r.scr.sel = rts[n : n : 2*n]
+	r.scr.paths = make([]bgp.ExitPath, 0, n)
+	r.scr.kinds = make([]int, 0, n)
+	r.scr.origins = make([]bgp.NodeID, 0, n)
+	r.scr.possible.Grow(n)
+	r.scr.adv.Grow(n)
+	r.scr.target.Grow(n)
+	r.myExits.Grow(n)
+	for _, w := range r.peers {
+		r.adjIn[w].Grow(n)
+		r.lastSent[w].Grow(n)
 	}
 	return r
 }
@@ -225,40 +276,67 @@ func (r *RIB) allowedTo(kind int, origin, w bgp.NodeID) bool {
 	}
 }
 
-// candidates materialises the current candidate routes.
-func (r *RIB) candidates() []bgp.Route {
-	ids := r.Possible().IDs()
-	rs := make([]bgp.Route, len(ids))
-	for i, id := range ids {
-		p := r.sys.Exit(id)
-		rs[i] = r.sys.Route(r.id, p, r.learnedFrom(p))
+// possibleInto fills out with the current candidate set — own exits plus
+// everything in the Adj-RIB-Ins — reusing out's storage.
+func (r *RIB) possibleInto(out *bgp.PathSet) {
+	out.Copy(r.myExits)
+	for _, w := range r.peers {
+		out.Union(*r.adjIn[w])
 	}
-	return rs
+}
+
+// fillCandidates materialises the current candidate routes into the
+// refresh scratch (scr.cands), reusing its storage.
+func (r *RIB) fillCandidates() {
+	r.possibleInto(&r.scr.possible)
+	r.scr.ids = r.scr.possible.AppendIDs(r.scr.ids[:0])
+	r.scr.cands = r.scr.cands[:0]
+	for _, id := range r.scr.ids {
+		p := r.sys.Exit(id)
+		r.scr.cands = append(r.scr.cands, r.sys.Route(r.id, p, r.learnedFrom(p)))
+	}
+}
+
+// advertiseInto computes the paths this router wants to offer under its
+// policy — before per-peer announcement filtering — into out, consuming
+// the candidate scratch. fillCandidates must have run for the current RIB
+// state; scr.cands itself is left intact (the policy branches work on the
+// sel/paths copies), so advertiseInto may run after RecomputeBest without
+// re-materialising.
+func (r *RIB) advertiseInto(out *bgp.PathSet) {
+	out.Clear()
+	switch {
+	case r.policy == protocol.Modified || (r.policy == protocol.Adaptive && r.upgraded):
+		paths := r.scr.paths[:0]
+		for _, c := range r.scr.cands {
+			paths = append(paths, c.Path)
+		}
+		r.scr.paths = paths
+		if r.scr.byAS == nil {
+			r.scr.byAS = make(map[bgp.ASN]int, 8)
+		}
+		for _, p := range selection.SurvivorsBInPlace(paths, r.opts.MED, r.scr.byAS) {
+			out.Add(p.ID)
+		}
+	case r.policy == protocol.Walton && r.sys.Role(r.id) == topology.Reflector:
+		for _, w := range selection.WaltonSet(r.scr.cands, r.opts) {
+			out.Add(w.Path.ID)
+		}
+	default:
+		sel := append(r.scr.sel[:0], r.scr.cands...)
+		if w, ok := selection.BestInPlace(sel, r.opts); ok {
+			out.Add(w.Path.ID)
+		}
+		r.scr.sel = sel
+	}
 }
 
 // advertiseSet returns the paths this router wants to offer under its
 // policy, before per-peer announcement filtering.
 func (r *RIB) advertiseSet() bgp.PathSet {
-	cands := r.candidates()
+	r.fillCandidates()
 	var out bgp.PathSet
-	switch {
-	case r.policy == protocol.Modified || (r.policy == protocol.Adaptive && r.upgraded):
-		paths := make([]bgp.ExitPath, len(cands))
-		for i, c := range cands {
-			paths[i] = c.Path
-		}
-		for _, p := range selection.SurvivorsB(paths, r.opts.MED) {
-			out.Add(p.ID)
-		}
-	case r.policy == protocol.Walton && r.sys.Role(r.id) == topology.Reflector:
-		for _, w := range selection.WaltonSet(cands, r.opts) {
-			out.Add(w.Path.ID)
-		}
-	default:
-		if w, ok := selection.Best(cands, r.opts); ok {
-			out.Add(w.Path.ID)
-		}
-	}
+	r.advertiseInto(&out)
 	return out
 }
 
@@ -270,11 +348,14 @@ func (r *RIB) Upgraded() bool { return r.upgraded }
 // route moved (a "flap"). It also feeds the adaptive oscillation detector.
 func (r *RIB) RecomputeBest() (bestChanged bool) {
 	oldBest := r.best
-	if w, ok := selection.Best(r.candidates(), r.opts); ok {
+	r.fillCandidates()
+	sel := append(r.scr.sel[:0], r.scr.cands...)
+	if w, ok := selection.BestInPlace(sel, r.opts); ok {
 		r.best = w.Path.ID
 	} else {
 		r.best = bgp.None
 	}
+	r.scr.sel = sel
 	bestChanged = r.best != oldBest
 	if bestChanged && r.best != bgp.None {
 		if r.heldBest.Contains(r.best) {
@@ -286,6 +367,95 @@ func (r *RIB) RecomputeBest() (bestChanged bool) {
 		r.heldBest.Add(r.best)
 	}
 	return bestChanged
+}
+
+// PrepareFlush computes the peer-independent half of the announcement
+// fan-out — the advertise set and each wanted path's source classification
+// — into the RIB's reusable scratch. It must run after RecomputeBest (it
+// reuses the candidate materialisation) with no intervening RIB mutation;
+// the prepared state then feeds TargetInto, OwedTo and CommitFlushAppend
+// for every peer of the round, so one refresh costs one decision process
+// and zero allocations once the scratch is warm.
+func (r *RIB) PrepareFlush() {
+	r.advertiseInto(&r.scr.adv)
+	r.scr.want = r.scr.adv.AppendIDs(r.scr.want[:0])
+	r.scr.kinds = r.scr.kinds[:0]
+	r.scr.origins = r.scr.origins[:0]
+	for _, id := range r.scr.want {
+		k, o := r.sourceKind(id)
+		r.scr.kinds = append(r.scr.kinds, k)
+		r.scr.origins = append(r.scr.origins, o)
+	}
+}
+
+// TargetInto fills target with the prepared set of paths peer w should
+// hold — TargetFor without the per-call allocations. Valid only between a
+// PrepareFlush and the next RIB mutation.
+func (r *RIB) TargetInto(w bgp.NodeID, target *bgp.PathSet) {
+	target.Clear()
+	for i, id := range r.scr.want {
+		if r.allowedTo(r.scr.kinds[i], r.scr.origins[i], w) {
+			target.Add(id)
+		}
+	}
+}
+
+// OwedTo reports whether peer w's prepared target differs from what was
+// last advertised — the allocation-free "is an UPDATE owed" probe. Valid
+// only between a PrepareFlush and the next RIB mutation.
+func (r *RIB) OwedTo(w bgp.NodeID) bool {
+	last, ok := r.lastSent[w]
+	if !ok {
+		return false
+	}
+	r.TargetInto(w, &r.scr.target)
+	return !r.scr.target.Equal(*last)
+}
+
+// CommitFlushAppend commits the prepared target for peer w and appends the
+// owed announce/withdraw diff to ann and wd, returning the extended
+// slices (unchanged when nothing is owed). The advertisement memory is
+// updated by copy, never by aliasing caller storage. Valid only between a
+// PrepareFlush and the next RIB mutation.
+func (r *RIB) CommitFlushAppend(w bgp.NodeID, ann, wd []bgp.PathID) ([]bgp.PathID, []bgp.PathID) {
+	last, ok := r.lastSent[w]
+	if !ok {
+		return ann, wd
+	}
+	r.TargetInto(w, &r.scr.target)
+	if r.scr.target.Equal(*last) {
+		return ann, wd
+	}
+	r.scr.tids = r.scr.target.AppendIDs(r.scr.tids[:0])
+	for _, id := range r.scr.tids {
+		if !last.Contains(id) {
+			ann = append(ann, id)
+		}
+	}
+	r.scr.lids = last.AppendIDs(r.scr.lids[:0])
+	for _, id := range r.scr.lids {
+		if !r.scr.target.Contains(id) {
+			wd = append(wd, id)
+		}
+	}
+	last.Copy(r.scr.target)
+	return ann, wd
+}
+
+// Learn merges one announced path from peer w — the per-record counterpart
+// of ApplyUpdate for receivers iterating a wire.UpdateView.
+func (r *RIB) Learn(w bgp.NodeID, id bgp.PathID) {
+	if in, ok := r.adjIn[w]; ok {
+		in.Add(id)
+	}
+}
+
+// Unlearn removes one withdrawn path from peer w — the per-record
+// counterpart of ApplyUpdate for receivers iterating a wire.UpdateView.
+func (r *RIB) Unlearn(w bgp.NodeID, id bgp.PathID) {
+	if in, ok := r.adjIn[w]; ok {
+		in.Remove(id)
+	}
 }
 
 // TargetFor returns the set of paths this router currently wants peer w to
@@ -308,6 +478,17 @@ func (r *RIB) LastSent(w bgp.NodeID) bgp.PathSet {
 		return s.Clone()
 	}
 	return bgp.PathSet{}
+}
+
+// CopyLastSent copies the advertisement memory toward w into dst without
+// allocating — the scratch counterpart of LastSent for the rollback
+// snapshots a transport keeps across a send.
+func (r *RIB) CopyLastSent(w bgp.NodeID, dst *bgp.PathSet) {
+	if s, ok := r.lastSent[w]; ok {
+		dst.Copy(*s)
+	} else {
+		dst.Clear()
+	}
 }
 
 // CommitSend records target as advertised to w and returns the announce /
@@ -339,7 +520,9 @@ func (r *RIB) CommitSend(w bgp.NodeID, target bgp.PathSet) (announce, withdraw [
 // would strand the peer's Adj-RIB-In stale forever.
 func (r *RIB) RestoreLastSent(w bgp.NodeID, prev bgp.PathSet) {
 	if last, ok := r.lastSent[w]; ok {
-		*last = prev
+		// Copy, never alias: prev may live in a transport's reusable
+		// snapshot scratch that is overwritten on the next flush.
+		last.Copy(prev)
 	}
 }
 

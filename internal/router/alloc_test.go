@@ -1,0 +1,44 @@
+//go:build !race
+
+// Allocation floor for the shared router core. The race detector
+// instruments allocations, so the floor only holds (and only runs) in
+// normal builds; `go test -race` skips this file via the build constraint.
+
+package router
+
+import (
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/protocol"
+	"repro/internal/selection"
+	"repro/internal/wire"
+)
+
+// TestRefreshAllocFloor pins the steady-state withdraw/inject refresh
+// cycle at <= 2 heap allocations per refresh: the recompute, flush
+// preparation, per-peer diff and coalesced encode all run on router-owned
+// scratch, so the only tolerated allocations are incidental (map bucket
+// churn in the flap history, amortised slice growth).
+func TestRefreshAllocFloor(t *testing.T) {
+	sys, rr, paths := star(t)
+	var c Counters
+	r := Single(sys, protocol.Classic, selection.Options{}).NewRouter(rr, &c)
+	sink := func(bgp.NodeID, *wire.Update) (int64, error) { return 0, nil }
+
+	// Warm the RIB maps and the router scratch, then measure.
+	r.Inject(0, 0, paths[0])
+	r.Refresh(0, sink)
+	cycle := func() {
+		r.WithdrawExternal(0, 0, paths[0])
+		r.Refresh(0, sink)
+		r.Inject(0, 0, paths[0])
+		r.Refresh(0, sink)
+	}
+	cycle()
+
+	perRefresh := testing.AllocsPerRun(200, cycle) / 2
+	if perRefresh > 2 {
+		t.Errorf("steady-state refresh allocates %.1f per refresh, want <= 2", perRefresh)
+	}
+}

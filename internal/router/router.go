@@ -145,6 +145,18 @@ type Router struct {
 	// started latches once the first operation mutates the core; Events
 	// rejects registrations after that point (set-once-before-start).
 	started bool
+
+	// Refresh/apply scratch, reused across rounds: the outbound coalesced
+	// UPDATE handed to the transport and the event sink (both must consume
+	// it before the call returns), the received-update materialisation for
+	// UpdateReceived events on the view path, the per-prefix last-sent
+	// snapshots for send-failure rollback, and the per-prefix diff buffers.
+	// Single-owner like the Router itself.
+	txUpd    wire.Update
+	rxUpd    wire.Update
+	prevSent []bgp.PathSet
+	annBuf   []bgp.PathID
+	wdBuf    []bgp.PathID
 }
 
 // NewRouter builds the core for node id, accumulating into counters
@@ -159,9 +171,20 @@ func (d *Domain) NewRouter(id bgp.NodeID, counters *Counters) *Router {
 		down:     map[bgp.NodeID]bool{},
 		counters: counters,
 	}
+	maxExits := 0
 	for _, p := range d.prefixes {
 		r.ribs[p] = rib.New(d.systems[p], d.policy, d.opts, id)
+		if n := d.systems[p].NumExits(); n > maxExits {
+			maxExits = n
+		}
 	}
+	// Pre-size the flush scratch to the topology's bounds so fresh routers
+	// don't pay append-growth allocations on their first refreshes.
+	r.prevSent = make([]bgp.PathSet, len(d.prefixes))
+	r.annBuf = make([]bgp.PathID, 0, maxExits)
+	r.wdBuf = make([]bgp.PathID, 0, maxExits)
+	r.txUpd.Withdrawn = make([]wire.WithdrawnRoute, 0, maxExits)
+	r.txUpd.Announced = make([]wire.RouteRecord, 0, maxExits)
 	return r
 }
 
@@ -240,21 +263,55 @@ func (r *Router) ApplyUpdate(now int64, from bgp.NodeID, upd *wire.Update) error
 		r.counters.Rejected.Add(1)
 		return err
 	}
-	ann := map[uint32][]bgp.PathID{}
-	wd := map[uint32][]bgp.PathID{}
 	for _, rec := range upd.Announced {
-		ann[rec.Prefix] = append(ann[rec.Prefix], bgp.PathID(rec.PathID))
+		if rb, ok := r.ribs[rec.Prefix]; ok {
+			rb.Learn(from, bgp.PathID(rec.PathID))
+		}
 	}
 	for _, w := range upd.Withdrawn {
-		wd[w.Prefix] = append(wd[w.Prefix], bgp.PathID(w.PathID))
-	}
-	for _, prefix := range r.dom.prefixes {
-		if len(ann[prefix]) > 0 || len(wd[prefix]) > 0 {
-			r.ribs[prefix].ApplyUpdate(from, ann[prefix], wd[prefix])
+		if rb, ok := r.ribs[w.Prefix]; ok {
+			rb.Unlearn(from, bgp.PathID(w.PathID))
 		}
 	}
 	r.counters.Received.Add(1)
 	r.emit(Event{Kind: UpdateReceived, Time: now, Node: r.id, Peer: from, Update: upd})
+	return nil
+}
+
+// ApplyUpdateView merges one received UPDATE directly from its zero-copy
+// wire view, without materialising record slices — the hot-path twin of
+// ApplyUpdate for transports that decode with wire.DecodeView. The view's
+// backing buffer must stay untouched for the duration of the call; nothing
+// of it is retained. When an event sink is installed, the records are
+// copied into the router's own scratch Update for the UpdateReceived
+// event, so recycling the buffer afterwards is always safe.
+func (r *Router) ApplyUpdateView(now int64, from bgp.NodeID, v wire.UpdateView) error {
+	r.started = true
+	if r.down[from] {
+		r.counters.Dropped.Add(1)
+		return fmt.Errorf("router: update from down peer %d", from)
+	}
+	if err := v.Validate(r.bounds); err != nil {
+		r.counters.Rejected.Add(1)
+		return err
+	}
+	for i, n := 0, v.NumAnnounced(); i < n; i++ {
+		rec := v.AnnouncedAt(i)
+		if rb, ok := r.ribs[rec.Prefix]; ok {
+			rb.Learn(from, bgp.PathID(rec.PathID))
+		}
+	}
+	for i, n := 0, v.NumWithdrawn(); i < n; i++ {
+		wd := v.WithdrawnAt(i)
+		if rb, ok := r.ribs[wd.Prefix]; ok {
+			rb.Unlearn(from, bgp.PathID(wd.PathID))
+		}
+	}
+	r.counters.Received.Add(1)
+	if r.sink != nil {
+		v.AppendTo(&r.rxUpd)
+		r.sink(Event{Kind: UpdateReceived, Time: now, Node: r.id, Peer: from, Update: &r.rxUpd})
+	}
 	return nil
 }
 
@@ -280,6 +337,10 @@ func (r *Router) Refresh(now int64, send SendFunc) []Deferral {
 			r.emit(Event{Kind: BestChanged, Time: now, Node: r.id, Prefix: prefix,
 				OldBest: old, NewBest: rb.Best()})
 		}
+		// Prepare the peer-independent advertise state once per prefix;
+		// the per-peer fan-out below reads it without re-running the
+		// decision process or allocating.
+		rb.PrepareFlush()
 	}
 	var defs []Deferral
 	for _, w := range r.dom.base.Peers(r.id) {
@@ -346,8 +407,7 @@ func (r *Router) flushPeer(now int64, w bgp.NodeID, send SendFunc, defs []Deferr
 	}
 	owed := false
 	for _, prefix := range r.dom.prefixes {
-		rb := r.ribs[prefix]
-		if !rb.TargetFor(w).Equal(rb.LastSent(w)) {
+		if r.ribs[prefix].OwedTo(w) {
 			owed = true
 			break
 		}
@@ -364,12 +424,16 @@ func (r *Router) flushPeer(now int64, w bgp.NodeID, send SendFunc, defs []Deferr
 		}
 		return defs
 	}
-	upd := &wire.Update{}
-	prevSent := make([]bgp.PathSet, 0, len(r.dom.prefixes))
-	for _, prefix := range r.dom.prefixes {
+	upd := &r.txUpd
+	upd.Withdrawn = upd.Withdrawn[:0]
+	upd.Announced = upd.Announced[:0]
+	for len(r.prevSent) < len(r.dom.prefixes) {
+		r.prevSent = append(r.prevSent, bgp.PathSet{})
+	}
+	for i, prefix := range r.dom.prefixes {
 		rb := r.ribs[prefix]
-		prevSent = append(prevSent, rb.LastSent(w))
-		ann, wd := rb.CommitSend(w, rb.TargetFor(w))
+		rb.CopyLastSent(w, &r.prevSent[i])
+		ann, wd := rb.CommitFlushAppend(w, r.annBuf[:0], r.wdBuf[:0])
 		for _, id := range wd {
 			upd.Withdrawn = append(upd.Withdrawn, wire.WithdrawnRoute{Prefix: prefix, PathID: uint32(id)})
 		}
@@ -378,6 +442,7 @@ func (r *Router) flushPeer(now int64, w bgp.NodeID, send SendFunc, defs []Deferr
 			rec.Prefix = prefix
 			upd.Announced = append(upd.Announced, rec)
 		}
+		r.annBuf, r.wdBuf = ann[:0], wd[:0]
 	}
 	if len(upd.Announced) == 0 && len(upd.Withdrawn) == 0 {
 		return defs
@@ -397,7 +462,7 @@ func (r *Router) flushPeer(now int64, w bgp.NodeID, send SendFunc, defs []Deferr
 		// repair TCP retransmission gives a real speaker. Without the
 		// rewind one lost UPDATE would leave the peer stale forever.
 		for i, prefix := range r.dom.prefixes {
-			r.ribs[prefix].RestoreLastSent(w, prevSent[i])
+			r.ribs[prefix].RestoreLastSent(w, r.prevSent[i])
 		}
 		r.counters.Dropped.Add(1)
 		return defs

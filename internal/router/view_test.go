@@ -1,0 +1,129 @@
+package router
+
+import (
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/protocol"
+	"repro/internal/selection"
+	"repro/internal/wire"
+)
+
+// TestApplyUpdateViewMatchesApplyUpdate is the differential check between
+// the materialising and zero-copy receive paths: the same UPDATE bytes,
+// applied via ApplyUpdate to one router and via ApplyUpdateView to its
+// twin, must leave identical RIB state, counters, and refresh behaviour.
+func TestApplyUpdateViewMatchesApplyUpdate(t *testing.T) {
+	sys, rr, paths := star(t)
+	peers := sys.Peers(rr)
+	client := peers[0]
+	dom := Single(sys, protocol.Classic, selection.Options{})
+
+	var cMat, cView Counters
+	mat := dom.NewRouter(client, &cMat)
+	view := dom.NewRouter(client, &cView)
+
+	steps := []wire.Update{
+		{Announced: []wire.RouteRecord{fromPath(sys, paths[0])}},
+		{Announced: []wire.RouteRecord{fromPath(sys, paths[1])}},
+		{Withdrawn: []wire.WithdrawnRoute{{Prefix: 0, PathID: uint32(paths[0])}}},
+		{}, // empty UPDATE: received and counted, no state change
+	}
+	for i, upd := range steps {
+		data, err := wire.AppendUpdate(nil, &upd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mat.ApplyUpdate(int64(i), rr, &upd); err != nil {
+			t.Fatalf("step %d: ApplyUpdate: %v", i, err)
+		}
+		v, _, err := wire.DecodeView(data)
+		if err != nil {
+			t.Fatalf("step %d: DecodeView: %v", i, err)
+		}
+		if err := view.ApplyUpdateView(int64(i), rr, v); err != nil {
+			t.Fatalf("step %d: ApplyUpdateView: %v", i, err)
+		}
+		// Recycle the buffer the way a transport freelist would before the
+		// next message: if the view path retained any of it, the router's
+		// state diverges from the materialising twin below.
+		for j := range data {
+			data[j] = 0xee
+		}
+		if !mat.Possible(0).Equal(view.Possible(0)) {
+			t.Fatalf("step %d: possible sets diverge: %v vs %v", i, mat.Possible(0).IDs(), view.Possible(0).IDs())
+		}
+		if mat.Best(0) != view.Best(0) {
+			t.Fatalf("step %d: best diverges: %d vs %d", i, mat.Best(0), view.Best(0))
+		}
+	}
+
+	var sentMat, sentView []bgp.NodeID
+	mat.Refresh(10, collect(&sentMat, nil))
+	view.Refresh(10, collect(&sentView, nil))
+	if len(sentMat) != len(sentView) {
+		t.Fatalf("refresh fan-out diverges: %v vs %v", sentMat, sentView)
+	}
+	if cMat.Snapshot() != cView.Snapshot() {
+		t.Fatalf("counters diverge: %+v vs %+v", cMat.Snapshot(), cView.Snapshot())
+	}
+	if got := cView.Snapshot().Received; got != int64(len(steps)) {
+		t.Fatalf("Received = %d, want %d", got, len(steps))
+	}
+}
+
+// TestApplyUpdateViewEventCopiesRecords pins the sink-facing half of the
+// no-retention contract: the UpdateReceived event the view path emits must
+// carry the router's own copy of the records, so an observer reading the
+// event (during the emit, per the Event.Update contract) sees the message
+// even though the transport recycles the decode buffer right after.
+func TestApplyUpdateViewEventCopiesRecords(t *testing.T) {
+	sys, rr, paths := star(t)
+	client := sys.Peers(rr)[0]
+	dom := Single(sys, protocol.Classic, selection.Options{})
+	var c Counters
+	r := dom.NewRouter(client, &c)
+
+	var seen []wire.Update
+	r.Events(func(ev Event) {
+		if ev.Kind == UpdateReceived {
+			seen = append(seen, wire.Update{
+				Withdrawn: append([]wire.WithdrawnRoute(nil), ev.Update.Withdrawn...),
+				Announced: append([]wire.RouteRecord(nil), ev.Update.Announced...),
+			})
+		}
+	})
+
+	want := wire.Update{Announced: []wire.RouteRecord{fromPath(sys, paths[0])}}
+	data, err := wire.AppendUpdate(nil, &want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := wire.DecodeView(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplyUpdateView(0, rr, v); err != nil {
+		t.Fatal(err)
+	}
+	for j := range data {
+		data[j] = 0xee
+	}
+	if len(seen) != 1 {
+		t.Fatalf("got %d UpdateReceived events, want 1", len(seen))
+	}
+	if len(seen[0].Announced) != 1 || seen[0].Announced[0] != want.Announced[0] {
+		t.Fatalf("event carried %+v, want %+v", seen[0], want)
+	}
+}
+
+// fromPath builds the valid wire record for one of the system's exit paths
+// (prefix 0, the single-prefix deployment's convention).
+func fromPath(sys interface{ Exits() []bgp.ExitPath }, id bgp.PathID) wire.RouteRecord {
+	for _, p := range sys.Exits() {
+		if p.ID == id {
+			return wire.FromExitPath(p)
+		}
+	}
+	panic("unknown path id")
+}

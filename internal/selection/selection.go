@@ -67,8 +67,18 @@ func filterMaxLocalPref(rs []bgp.Route) []bgp.Route {
 			best = r.Path.LocalPref
 		}
 	}
-	out := rs[:0]
-	for _, r := range rs {
+	// Skip the already-in-place matching prefix before compacting: when
+	// every route survives (the common case on this rule) no Route values
+	// are copied at all.
+	n := 0
+	for n < len(rs) && rs[n].Path.LocalPref == best {
+		n++
+	}
+	if n == len(rs) {
+		return rs
+	}
+	out := rs[:n]
+	for _, r := range rs[n+1:] {
 		if r.Path.LocalPref == best {
 			out = append(out, r)
 		}
@@ -84,8 +94,15 @@ func filterMinASPathLen(rs []bgp.Route) []bgp.Route {
 			best = r.Path.ASPathLen
 		}
 	}
-	out := rs[:0]
-	for _, r := range rs {
+	n := 0
+	for n < len(rs) && rs[n].Path.ASPathLen == best {
+		n++
+	}
+	if n == len(rs) {
+		return rs
+	}
+	out := rs[:n]
+	for _, r := range rs[n+1:] {
 		if r.Path.ASPathLen == best {
 			out = append(out, r)
 		}
@@ -105,8 +122,15 @@ func filterMED(rs []bgp.Route, mode MEDMode) []bgp.Route {
 				best = r.Path.MED
 			}
 		}
-		out := rs[:0]
-		for _, r := range rs {
+		n := 0
+		for n < len(rs) && rs[n].Path.MED == best {
+			n++
+		}
+		if n == len(rs) {
+			return rs
+		}
+		out := rs[:n]
+		for _, r := range rs[n+1:] {
 			if r.Path.MED == best {
 				out = append(out, r)
 			}
@@ -124,10 +148,17 @@ func filterMED(rs []bgp.Route, mode MEDMode) []bgp.Route {
 				}
 			}
 		}
-		out := rs[:0]
-		for i, r := range rs {
+		n := 0
+		for n < len(rs) && keep[n] {
+			n++
+		}
+		if n == len(rs) {
+			return rs
+		}
+		out := rs[:n]
+		for i := n + 1; i < len(rs); i++ {
 			if keep[i] {
-				out = append(out, r)
+				out = append(out, rs[i])
 			}
 		}
 		return out
@@ -139,8 +170,15 @@ func filterMED(rs []bgp.Route, mode MEDMode) []bgp.Route {
 			minByAS[r.Path.NextAS] = r.Path.MED
 		}
 	}
-	out := rs[:0]
-	for _, r := range rs {
+	n := 0
+	for n < len(rs) && rs[n].Path.MED == minByAS[rs[n].Path.NextAS] {
+		n++
+	}
+	if n == len(rs) {
+		return rs
+	}
+	out := rs[:n]
+	for _, r := range rs[n+1:] {
 		if r.Path.MED == minByAS[r.Path.NextAS] {
 			out = append(out, r)
 		}
@@ -157,8 +195,15 @@ func filterMetric(rs []bgp.Route) []bgp.Route {
 			best = r.Metric
 		}
 	}
-	out := rs[:0]
-	for _, r := range rs {
+	n := 0
+	for n < len(rs) && rs[n].Metric == best {
+		n++
+	}
+	if n == len(rs) {
+		return rs
+	}
+	out := rs[:n]
+	for _, r := range rs[n+1:] {
 		if r.Metric == best {
 			out = append(out, r)
 		}
@@ -179,8 +224,15 @@ func filterEBGP(rs []bgp.Route) []bgp.Route {
 	if !any {
 		return rs
 	}
-	out := rs[:0]
-	for _, r := range rs {
+	n := 0
+	for n < len(rs) && rs[n].EBGP() {
+		n++
+	}
+	if n == len(rs) {
+		return rs
+	}
+	out := rs[:n]
+	for _, r := range rs[n+1:] {
 		if r.EBGP() {
 			out = append(out, r)
 		}
@@ -315,6 +367,104 @@ func SurvivorsB(paths []bgp.ExitPath, mode MEDMode) []bgp.ExitPath {
 		}
 	}
 	return bgp.SortPaths(out)
+}
+
+// SurvivorsBInPlace is Choose^B without SurvivorsB's fresh allocations:
+// it compacts paths in place (reordering and truncating the slice) and
+// returns the surviving prefix, UNSORTED — callers feeding a PathSet do not
+// need SurvivorsB's by-ID order. byAS is a caller-owned scratch map for the
+// per-neighbour-AS MED minima, cleared on entry; it may be nil under
+// AlwaysCompare, which never consults it.
+func SurvivorsBInPlace(paths []bgp.ExitPath, mode MEDMode, byAS map[bgp.ASN]int) []bgp.ExitPath {
+	if len(paths) == 0 {
+		return nil
+	}
+	// Rule 1.
+	bestLP := paths[0].LocalPref
+	for _, p := range paths[1:] {
+		if p.LocalPref > bestLP {
+			bestLP = p.LocalPref
+		}
+	}
+	// Compactions skip the already-in-place matching prefix, same as the
+	// Route filters above: the common all-survive case copies nothing.
+	n := 0
+	for n < len(paths) && paths[n].LocalPref == bestLP {
+		n++
+	}
+	step := paths
+	if n < len(paths) {
+		step = paths[:n]
+		for _, p := range paths[n+1:] {
+			if p.LocalPref == bestLP {
+				step = append(step, p)
+			}
+		}
+	}
+	// Rule 2.
+	bestLen := step[0].ASPathLen
+	for _, p := range step[1:] {
+		if p.ASPathLen < bestLen {
+			bestLen = p.ASPathLen
+		}
+	}
+	n = 0
+	for n < len(step) && step[n].ASPathLen == bestLen {
+		n++
+	}
+	if n < len(step) {
+		out := step[:n]
+		for _, p := range step[n+1:] {
+			if p.ASPathLen == bestLen {
+				out = append(out, p)
+			}
+		}
+		step = out
+	}
+	// Rule 3.
+	if mode == AlwaysCompare {
+		bestMED := step[0].MED
+		for _, p := range step[1:] {
+			if p.MED < bestMED {
+				bestMED = p.MED
+			}
+		}
+		n = 0
+		for n < len(step) && step[n].MED == bestMED {
+			n++
+		}
+		if n == len(step) {
+			return step
+		}
+		out := step[:n]
+		for _, p := range step[n+1:] {
+			if p.MED == bestMED {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	clear(byAS)
+	for _, p := range step {
+		cur, ok := byAS[p.NextAS]
+		if !ok || p.MED < cur {
+			byAS[p.NextAS] = p.MED
+		}
+	}
+	n = 0
+	for n < len(step) && step[n].MED == byAS[step[n].NextAS] {
+		n++
+	}
+	if n == len(step) {
+		return step
+	}
+	out := step[:n]
+	for _, p := range step[n+1:] {
+		if p.MED == byAS[p.NextAS] {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // BestPerAS returns, for each neighbouring AS present among the candidates,

@@ -52,10 +52,40 @@ type inbound struct {
 // outMsg is one UPDATE queued for a session's write loop, with the
 // earliest wall-clock instant it may hit the wire (fault-delay fates push
 // it into the future; later messages queue behind it, preserving FIFO).
+// The message is pre-encoded at send time: the core's scratch Update is
+// only valid while Refresh runs, so the bytes must be taken before the
+// message crosses onto the session goroutine. buf comes from outBufPool
+// and is recycled by whoever consumes the message (written, dropped or
+// drained).
 type outMsg struct {
-	upd wire.Update
+	buf *[]byte
 	at  time.Time
 }
+
+// outBufPool recycles encoded-UPDATE buffers between the speakers' send
+// paths and their write loops, so a steady-state network writes messages
+// without per-message allocations.
+var outBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// encodeOut frames one UPDATE into a pooled buffer.
+func encodeOut(upd *wire.Update) (*[]byte, error) {
+	bp := outBufPool.Get().(*[]byte)
+	b, err := wire.AppendUpdate((*bp)[:0], upd)
+	if err != nil {
+		outBufPool.Put(bp)
+		return nil, err
+	}
+	*bp = b
+	return bp, nil
+}
+
+// recycleOut returns a consumed message buffer to the pool.
+func recycleOut(bp *[]byte) { outBufPool.Put(bp) }
 
 // session is one incarnation of an established I-BGP TCP session. A fault
 // reset tears the incarnation down (stop closed, conn closed) and the
@@ -95,6 +125,15 @@ type Speaker struct {
 
 	mu   sync.Mutex // guards core
 	core *router.Router
+
+	// emux buffers the core's event emissions for one main-loop round
+	// (handle + refresh) and flushes them as a batch: the core's events
+	// reference its reusable scratch Update, which Batch deep-copies, and
+	// one flush takes the network's observer lock once per round instead
+	// of once per event. Batch and Flush both run on the main-loop
+	// goroutine (handle/refresh emit synchronously under s.mu from there),
+	// so the single-owner contract of router.Mux holds.
+	emux router.Mux
 
 	sessions map[bgp.NodeID]*session
 	inbox    chan inbound
@@ -182,7 +221,8 @@ func NewMulti(systems map[uint32]*topology.System, policy protocol.Policy, opts 
 			inbox:    make(chan inbound, 1024),
 			done:     make(chan struct{}),
 		}
-		sp.core.Events(n.dispatch)
+		sp.core.Events(sp.emux.Batch)
+		sp.emux.AddBatch(n.dispatchBatch)
 		n.speakers = append(n.speakers, sp)
 	}
 	return n, nil
@@ -251,6 +291,13 @@ func (n *Network) Observe(fn func(router.Event)) {
 // serialized with the observer and must not call back into the network.
 func (n *Network) Subscribe(fn func(router.Event)) { n.mux.Add(fn) }
 
+// SubscribeBatch registers a permanent batch-aware sink: it receives each
+// speaker main-loop round's events as one slice (valid only until it
+// returns), amortising per-event overhead — telemetry feeds take one
+// encoder pass per round this way. Same before-Start contract as
+// Subscribe.
+func (n *Network) SubscribeBatch(fn func([]router.Event)) { n.mux.AddBatch(fn) }
+
 // dispatch fans one core event out to the registered observer and every
 // subscribed sink. Events are serialized so a printing observer needs no
 // locking of its own.
@@ -261,6 +308,20 @@ func (n *Network) dispatch(ev router.Event) {
 		n.observer(ev)
 	}
 	n.mux.Dispatch(ev)
+}
+
+// dispatchBatch delivers one speaker round's events under a single
+// observer-lock acquisition: the observer and per-event Subscribe sinks
+// see each event in emission order, batch sinks get the round whole.
+func (n *Network) dispatchBatch(evs []router.Event) {
+	n.obsMu.Lock()
+	defer n.obsMu.Unlock()
+	if n.observer != nil {
+		for i := range evs {
+			n.observer(evs[i])
+		}
+	}
+	n.mux.DispatchBatch(evs)
 }
 
 // now is the transport clock: milliseconds since Start.
@@ -460,7 +521,6 @@ func (s *Speaker) readLoop(sess *session) {
 func (s *Speaker) writeLoop(sess *session) {
 	defer s.wg.Done()
 	defer close(sess.writeDone)
-	w := wire.NewWriter(sess.conn)
 	dead := false
 	for {
 		var m outMsg
@@ -482,20 +542,24 @@ func (s *Speaker) writeLoop(sess *session) {
 			case <-sess.stop:
 				t.Stop()
 				s.net.counters.Dropped.Add(1) // m itself
+				recycleOut(m.buf)
 				s.drainOutQ(sess)
 				return
 			}
 		}
 		if dead {
 			s.net.counters.Dropped.Add(1)
+			recycleOut(m.buf)
 			continue
 		}
-		if err := w.WriteMessage(m.upd); err != nil {
+		if _, err := sess.conn.Write(*m.buf); err != nil {
 			dead = true
 			s.net.counters.Dropped.Add(1)
+			recycleOut(m.buf)
 			continue
 		}
 		sess.written.Add(1)
+		recycleOut(m.buf)
 	}
 }
 
@@ -504,8 +568,9 @@ func (s *Speaker) writeLoop(sess *session) {
 func (s *Speaker) drainOutQ(sess *session) {
 	for {
 		select {
-		case <-sess.outQ:
+		case m := <-sess.outQ:
 			s.net.counters.Dropped.Add(1)
+			recycleOut(m.buf)
 		default:
 			return
 		}
@@ -533,6 +598,9 @@ func (s *Speaker) mainLoop() {
 				break
 			}
 			s.refresh()
+			// Deliver the round's buffered events in one batch, off the
+			// core lock; a round with no emissions flushes for free.
+			s.emux.Flush()
 		}
 	}
 }
@@ -610,31 +678,45 @@ func (s *Speaker) send(w bgp.NodeID, upd *wire.Update) (int64, error) {
 		s.net.dispatch(router.Event{Kind: router.FaultDelay, Time: s.net.now(),
 			Node: s.id, Peer: w, ReadyAt: fate.ExtraDelay})
 	}
+	// Encode now, into a pooled buffer: upd points at the core's reusable
+	// refresh scratch, which the next flush overwrites, so the bytes must
+	// be taken before the message crosses onto the session goroutine.
+	bp, err := encodeOut(upd)
+	if err != nil {
+		s.scheduleRetry(w)
+		return -1, fmt.Errorf("speaker: encode for %d: %w", w, err)
+	}
 	// Reorder fates are ignored: the TCP byte stream cannot reorder.
-	if !enqueueOut(sess, *upd, at) {
+	if !enqueueOut(sess, bp, at) {
+		recycleOut(bp)
 		s.scheduleRetry(w)
 		return -1, fmt.Errorf("speaker: outbound queue to %d full", w)
 	}
 	if fate.Duplicate {
 		// The copy is one more message on the wire; counting it as Sent
 		// keeps the quiescence ledger balanced when it lands (Received) or
-		// dies with the session (Dropped).
-		if enqueueOut(sess, *upd, at.Add(time.Duration(fate.DupDelay)*time.Millisecond)) {
+		// dies with the session (Dropped). It gets its own pooled buffer:
+		// the original and the duplicate are consumed independently.
+		dp := outBufPool.Get().(*[]byte)
+		*dp = append((*dp)[:0], *bp...)
+		if enqueueOut(sess, dp, at.Add(time.Duration(fate.DupDelay)*time.Millisecond)) {
 			s.net.counters.Sent.Add(1)
 			s.net.counters.FaultDups.Add(1)
 			s.net.dispatch(router.Event{Kind: router.FaultDuplicate, Time: s.net.now(),
 				Node: s.id, Peer: w, ReadyAt: fate.DupDelay})
+		} else {
+			recycleOut(dp)
 		}
 	}
 	return -1, nil
 }
 
-// enqueueOut hands one UPDATE to the session's write loop without ever
-// blocking the core: a full queue reports failure and the caller falls
-// back to the drop-and-retry path.
-func enqueueOut(sess *session, upd wire.Update, at time.Time) bool {
+// enqueueOut hands one encoded UPDATE to the session's write loop without
+// ever blocking the core: a full queue reports failure and the caller
+// falls back to the drop-and-retry path (recycling the buffer itself).
+func enqueueOut(sess *session, buf *[]byte, at time.Time) bool {
 	select {
-	case sess.outQ <- outMsg{upd: upd, at: at}:
+	case sess.outQ <- outMsg{buf: buf, at: at}:
 		return true
 	default:
 		return false

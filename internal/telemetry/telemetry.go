@@ -135,6 +135,46 @@ func (f *Feed) Sink(ev router.Event) {
 	f.mu.Unlock()
 }
 
+// SinkBatch consumes one dispatch round of router events — the batch-aware
+// twin of Sink for substrates flushing a router.Mux per activation round.
+// The aggregates are folded with two atomic adds per batch instead of per
+// event, and with live subscribers the fan-out lock is taken once for the
+// whole round. The slice is only read, never retained.
+func (f *Feed) SinkBatch(evs []router.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	flaps := 0
+	for i := range evs {
+		if evs[i].Kind == router.BestChanged {
+			flaps++
+		}
+	}
+	f.events.Add(int64(len(evs)))
+	if flaps > 0 {
+		f.flaps.Add(int64(flaps))
+	}
+	if f.nsub.Load() == 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range evs {
+		line, err := json.Marshal(record(evs[i]))
+		if err != nil {
+			continue
+		}
+		for _, ch := range f.subs {
+			select {
+			case ch <- line:
+				f.streamd.Add(1)
+			default:
+				f.dropped.Add(1)
+			}
+		}
+	}
+}
+
 // Subscribe registers a live event subscriber and returns its channel of
 // encoded JSON lines plus a cancel that closes it. A subscriber that
 // cannot keep up loses events rather than stalling the run.

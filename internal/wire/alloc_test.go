@@ -1,0 +1,51 @@
+//go:build !race
+
+// Allocation floors for the zero-alloc wire path. The race detector
+// instruments allocations, so these floors only hold (and only run) in
+// normal builds; `go test -race` skips the file entirely via the build
+// constraint rather than reporting spurious regressions.
+
+package wire
+
+import "testing"
+
+// TestWirePathAllocFloor pins the steady-state encode/decode cycle both
+// substrates run per message at zero heap allocations: AppendUpdate into
+// a warm buffer, DecodeView over the bytes, every record read through the
+// accessors, and the view materialised into a reused Update.
+func TestWirePathAllocFloor(t *testing.T) {
+	u := Update{
+		Withdrawn: []WithdrawnRoute{{Prefix: 0, PathID: 2}, {Prefix: 1, PathID: 0}},
+		Announced: []RouteRecord{
+			{Prefix: 0, PathID: 0, LocalPref: 100, NextAS: 7, MED: 5, TieBreak: -1},
+			{Prefix: 1, PathID: 3, LocalPref: 100, NextAS: 9, MED: 0, TieBreak: 4},
+		},
+	}
+	buf := make([]byte, 0, 512)
+	var scratch Update
+	sink := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		out, err := AppendUpdate(buf[:0], &u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out
+		v, _, err := DecodeView(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, n := 0, v.NumWithdrawn(); i < n; i++ {
+			sink += int(v.WithdrawnAt(i).PathID)
+		}
+		for i, n := 0, v.NumAnnounced(); i < n; i++ {
+			sink += int(v.AnnouncedAt(i).PathID)
+		}
+		v.AppendTo(&scratch)
+	})
+	if allocs != 0 {
+		t.Errorf("wire encode/view/materialise cycle allocates %.1f per message, want 0", allocs)
+	}
+	if sink == 0 {
+		t.Error("accessor loop optimised away; fix the test")
+	}
+}

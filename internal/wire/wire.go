@@ -137,79 +137,152 @@ func (Update) wireType() byte       { return TypeUpdate }
 func (Notification) wireType() byte { return TypeNotification }
 func (Keepalive) wireType() byte    { return TypeKeepalive }
 
-// Append serialises msg onto buf and returns the extended slice.
+// appendHeader writes the fixed message header for a body of bodyLen bytes.
+func appendHeader(buf []byte, typ byte, bodyLen int) []byte {
+	buf = append(buf, Marker[:]...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(headerSize+bodyLen))
+	return append(buf, typ)
+}
+
+// Append serialises msg onto buf and returns the extended slice. It writes
+// directly into buf — no intermediate body buffer — so a caller that reuses
+// its buffer (buf[:0]) pays no allocation once the buffer has grown to the
+// message size. UPDATE senders on hot paths should call AppendUpdate, which
+// also avoids boxing the message into the Message interface.
 func Append(buf []byte, msg Message) ([]byte, error) {
-	var body []byte
 	switch m := msg.(type) {
 	case Open:
-		body = make([]byte, 9)
-		body[0] = m.Version
-		binary.BigEndian.PutUint32(body[1:5], m.BGPID)
-		binary.BigEndian.PutUint32(body[5:9], m.NodeID)
+		buf = appendHeader(buf, TypeOpen, 9)
+		buf = append(buf, m.Version)
+		buf = binary.BigEndian.AppendUint32(buf, m.BGPID)
+		return binary.BigEndian.AppendUint32(buf, m.NodeID), nil
 	case Update:
-		if len(m.Withdrawn) > 0xffff || len(m.Announced) > 0xffff {
-			return nil, ErrBadLength
-		}
-		body = make([]byte, 0, 4+withdrawnSize*len(m.Withdrawn)+routeRecordSize*len(m.Announced))
-		body = binary.BigEndian.AppendUint16(body, uint16(len(m.Withdrawn)))
-		for _, wd := range m.Withdrawn {
-			body = binary.BigEndian.AppendUint32(body, wd.Prefix)
-			body = binary.BigEndian.AppendUint32(body, wd.PathID)
-		}
-		body = binary.BigEndian.AppendUint16(body, uint16(len(m.Announced)))
-		for _, r := range m.Announced {
-			body = binary.BigEndian.AppendUint32(body, r.Prefix)
-			body = binary.BigEndian.AppendUint32(body, r.PathID)
-			body = binary.BigEndian.AppendUint32(body, r.LocalPref)
-			body = binary.BigEndian.AppendUint16(body, r.ASPathLen)
-			body = binary.BigEndian.AppendUint32(body, r.NextAS)
-			body = binary.BigEndian.AppendUint32(body, r.MED)
-			body = binary.BigEndian.AppendUint32(body, r.ExitPoint)
-			body = binary.BigEndian.AppendUint64(body, r.ExitCost)
-			body = binary.BigEndian.AppendUint32(body, r.NextHopID)
-			body = binary.BigEndian.AppendUint32(body, uint32(r.TieBreak))
-		}
+		return AppendUpdate(buf, &m)
 	case Notification:
-		body = []byte{m.Code, m.Subcode}
+		return append(appendHeader(buf, TypeNotification, 2), m.Code, m.Subcode), nil
 	case Keepalive:
-		body = nil
+		return appendHeader(buf, TypeKeepalive, 0), nil
 	default:
 		return nil, fmt.Errorf("wire: unsupported message %T", msg)
 	}
-	total := headerSize + len(body)
-	if total > MaxMessageSize {
+}
+
+// AppendUpdate serialises one UPDATE onto buf and returns the extended
+// slice. This is the pooled-encode entry point of the zero-alloc wire path:
+// unlike Append it takes the update by pointer (no interface boxing) and,
+// like Append, writes straight into buf.
+func AppendUpdate(buf []byte, m *Update) ([]byte, error) {
+	if len(m.Withdrawn) > 0xffff || len(m.Announced) > 0xffff {
 		return nil, ErrBadLength
 	}
-	buf = append(buf, Marker[:]...)
-	buf = binary.BigEndian.AppendUint16(buf, uint16(total))
-	buf = append(buf, msg.wireType())
-	buf = append(buf, body...)
+	bodyLen := 4 + withdrawnSize*len(m.Withdrawn) + routeRecordSize*len(m.Announced)
+	if headerSize+bodyLen > MaxMessageSize {
+		return nil, ErrBadLength
+	}
+	buf = appendHeader(buf, TypeUpdate, bodyLen)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Withdrawn)))
+	for _, wd := range m.Withdrawn {
+		buf = binary.BigEndian.AppendUint32(buf, wd.Prefix)
+		buf = binary.BigEndian.AppendUint32(buf, wd.PathID)
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Announced)))
+	for _, r := range m.Announced {
+		buf = binary.BigEndian.AppendUint32(buf, r.Prefix)
+		buf = binary.BigEndian.AppendUint32(buf, r.PathID)
+		buf = binary.BigEndian.AppendUint32(buf, r.LocalPref)
+		buf = binary.BigEndian.AppendUint16(buf, r.ASPathLen)
+		buf = binary.BigEndian.AppendUint32(buf, r.NextAS)
+		buf = binary.BigEndian.AppendUint32(buf, r.MED)
+		buf = binary.BigEndian.AppendUint32(buf, r.ExitPoint)
+		buf = binary.BigEndian.AppendUint64(buf, r.ExitCost)
+		buf = binary.BigEndian.AppendUint32(buf, r.NextHopID)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(r.TieBreak))
+	}
 	return buf, nil
 }
 
 // Encode serialises msg into a fresh buffer.
 func Encode(msg Message) ([]byte, error) { return Append(nil, msg) }
 
-// Decode parses one message from data and returns it along with the number
-// of bytes consumed. It never panics on malformed input.
-func Decode(data []byte) (Message, int, error) {
+// frame validates the fixed header and returns the message type, body
+// bytes and total framed length. Shared by Decode and DecodeView so both
+// enforce identical bounds.
+func frame(data []byte) (typ byte, body []byte, total int, err error) {
 	if len(data) < headerSize {
-		return nil, 0, ErrTruncated
+		return 0, nil, 0, ErrTruncated
 	}
 	for i := range Marker {
 		if data[i] != Marker[i] {
-			return nil, 0, ErrBadMarker
+			return 0, nil, 0, ErrBadMarker
 		}
 	}
-	total := int(binary.BigEndian.Uint16(data[4:6]))
+	total = int(binary.BigEndian.Uint16(data[4:6]))
 	if total < headerSize {
-		return nil, 0, ErrBadLength
+		return 0, nil, 0, ErrBadLength
 	}
 	if len(data) < total {
-		return nil, 0, ErrTruncated
+		return 0, nil, 0, ErrTruncated
 	}
-	typ := data[6]
-	body := data[headerSize:total]
+	return data[6], data[headerSize:total], total, nil
+}
+
+// splitUpdateBody validates an UPDATE body's declared counts against its
+// length and returns the raw withdrawn and announced byte regions. This is
+// the one validation both the materialising decoder and the zero-copy view
+// rely on: after it succeeds, every fixed-size record access is in bounds.
+func splitUpdateBody(body []byte) (withdrawn, announced []byte, err error) {
+	if len(body) < 2 {
+		return nil, nil, ErrBadLength
+	}
+	nw := int(binary.BigEndian.Uint16(body[:2]))
+	body = body[2:]
+	if len(body) < withdrawnSize*nw {
+		return nil, nil, ErrBadLength
+	}
+	withdrawn = body[:withdrawnSize*nw]
+	body = body[withdrawnSize*nw:]
+	if len(body) < 2 {
+		return nil, nil, ErrBadLength
+	}
+	na := int(binary.BigEndian.Uint16(body[:2]))
+	body = body[2:]
+	if len(body) != na*routeRecordSize {
+		return nil, nil, ErrBadLength
+	}
+	return withdrawn, body, nil
+}
+
+// decodeWithdrawn reads one withdrawn-route record at the start of b.
+func decodeWithdrawn(b []byte) WithdrawnRoute {
+	return WithdrawnRoute{
+		Prefix: binary.BigEndian.Uint32(b[0:4]),
+		PathID: binary.BigEndian.Uint32(b[4:8]),
+	}
+}
+
+// decodeRecord reads one announced-route record at the start of b.
+func decodeRecord(b []byte) RouteRecord {
+	return RouteRecord{
+		Prefix:    binary.BigEndian.Uint32(b[0:4]),
+		PathID:    binary.BigEndian.Uint32(b[4:8]),
+		LocalPref: binary.BigEndian.Uint32(b[8:12]),
+		ASPathLen: binary.BigEndian.Uint16(b[12:14]),
+		NextAS:    binary.BigEndian.Uint32(b[14:18]),
+		MED:       binary.BigEndian.Uint32(b[18:22]),
+		ExitPoint: binary.BigEndian.Uint32(b[22:26]),
+		ExitCost:  binary.BigEndian.Uint64(b[26:34]),
+		NextHopID: binary.BigEndian.Uint32(b[34:38]),
+		TieBreak:  int32(binary.BigEndian.Uint32(b[38:42])),
+	}
+}
+
+// Decode parses one message from data and returns it along with the number
+// of bytes consumed. It never panics on malformed input.
+func Decode(data []byte) (Message, int, error) {
+	typ, body, total, err := frame(data)
+	if err != nil {
+		return nil, 0, err
+	}
 	switch typ {
 	case TypeOpen:
 		if len(body) != 9 {
@@ -225,44 +298,24 @@ func Decode(data []byte) (Message, int, error) {
 		}
 		return m, total, nil
 	case TypeUpdate:
+		wd, ann, err := splitUpdateBody(body)
+		if err != nil {
+			return nil, 0, err
+		}
+		// The declared counts were validated against the body length, so the
+		// slices pre-size exactly instead of append-growing from nil.
 		m := Update{}
-		if len(body) < 2 {
-			return nil, 0, ErrBadLength
+		if nw := len(wd) / withdrawnSize; nw > 0 {
+			m.Withdrawn = make([]WithdrawnRoute, nw)
+			for i := range m.Withdrawn {
+				m.Withdrawn[i] = decodeWithdrawn(wd[withdrawnSize*i:])
+			}
 		}
-		nw := int(binary.BigEndian.Uint16(body[:2]))
-		body = body[2:]
-		if len(body) < withdrawnSize*nw {
-			return nil, 0, ErrBadLength
-		}
-		for i := 0; i < nw; i++ {
-			m.Withdrawn = append(m.Withdrawn, WithdrawnRoute{
-				Prefix: binary.BigEndian.Uint32(body[withdrawnSize*i:]),
-				PathID: binary.BigEndian.Uint32(body[withdrawnSize*i+4:]),
-			})
-		}
-		body = body[withdrawnSize*nw:]
-		if len(body) < 2 {
-			return nil, 0, ErrBadLength
-		}
-		na := int(binary.BigEndian.Uint16(body[:2]))
-		body = body[2:]
-		if len(body) != na*routeRecordSize {
-			return nil, 0, ErrBadLength
-		}
-		for i := 0; i < na; i++ {
-			b := body[i*routeRecordSize:]
-			m.Announced = append(m.Announced, RouteRecord{
-				Prefix:    binary.BigEndian.Uint32(b[0:4]),
-				PathID:    binary.BigEndian.Uint32(b[4:8]),
-				LocalPref: binary.BigEndian.Uint32(b[8:12]),
-				ASPathLen: binary.BigEndian.Uint16(b[12:14]),
-				NextAS:    binary.BigEndian.Uint32(b[14:18]),
-				MED:       binary.BigEndian.Uint32(b[18:22]),
-				ExitPoint: binary.BigEndian.Uint32(b[22:26]),
-				ExitCost:  binary.BigEndian.Uint64(b[26:34]),
-				NextHopID: binary.BigEndian.Uint32(b[34:38]),
-				TieBreak:  int32(binary.BigEndian.Uint32(b[38:42])),
-			})
+		if na := len(ann) / routeRecordSize; na > 0 {
+			m.Announced = make([]RouteRecord, na)
+			for i := range m.Announced {
+				m.Announced[i] = decodeRecord(ann[routeRecordSize*i:])
+			}
 		}
 		return m, total, nil
 	case TypeNotification:
@@ -278,6 +331,118 @@ func Decode(data []byte) (Message, int, error) {
 	default:
 		return nil, 0, ErrBadType
 	}
+}
+
+// ErrNotUpdate is returned by DecodeView for a well-framed message of any
+// type other than UPDATE; callers needing those fall back to Decode.
+var ErrNotUpdate = errors.New("wire: not an UPDATE message")
+
+// UpdateView is a zero-copy read view over one framed UPDATE. The framing
+// and the declared counts are validated once by DecodeView; after that the
+// accessors index straight into the payload bytes, so iterating a view
+// materialises no []WithdrawnRoute / []RouteRecord slices.
+//
+// A view ALIASES the buffer it was decoded from and is only valid while the
+// receiver owns those bytes: a transport that recycles its receive buffers
+// must finish consuming the view (or materialise it with AppendTo) before
+// handing the buffer back to its pool. Views are values; copying one copies
+// the aliasing, never the bytes.
+type UpdateView struct {
+	withdrawn []byte // NumWithdrawn() * withdrawnSize bytes
+	announced []byte // NumAnnounced() * routeRecordSize bytes
+}
+
+// DecodeView parses one UPDATE from data without materialising it and
+// returns the view along with the number of bytes consumed. Framing and
+// count validation are exactly Decode's; a well-framed message of another
+// type returns ErrNotUpdate.
+func DecodeView(data []byte) (UpdateView, int, error) {
+	typ, body, total, err := frame(data)
+	if err != nil {
+		return UpdateView{}, 0, err
+	}
+	switch typ {
+	case TypeUpdate:
+	case TypeOpen, TypeNotification, TypeKeepalive:
+		return UpdateView{}, 0, ErrNotUpdate
+	default:
+		return UpdateView{}, 0, ErrBadType
+	}
+	wd, ann, err := splitUpdateBody(body)
+	if err != nil {
+		return UpdateView{}, 0, err
+	}
+	return UpdateView{withdrawn: wd, announced: ann}, total, nil
+}
+
+// NumWithdrawn returns the number of withdrawn routes in the view.
+func (v UpdateView) NumWithdrawn() int { return len(v.withdrawn) / withdrawnSize }
+
+// NumAnnounced returns the number of announced routes in the view.
+func (v UpdateView) NumAnnounced() int { return len(v.announced) / routeRecordSize }
+
+// Empty reports whether the view carries no routes at all.
+func (v UpdateView) Empty() bool { return len(v.withdrawn) == 0 && len(v.announced) == 0 }
+
+// WithdrawnAt decodes the i-th withdrawn route. i must be in
+// [0, NumWithdrawn()); out-of-range panics like a slice index.
+func (v UpdateView) WithdrawnAt(i int) WithdrawnRoute {
+	return decodeWithdrawn(v.withdrawn[withdrawnSize*i : withdrawnSize*(i+1)])
+}
+
+// AnnouncedAt decodes the i-th announced route. i must be in
+// [0, NumAnnounced()); out-of-range panics like a slice index.
+func (v UpdateView) AnnouncedAt(i int) RouteRecord {
+	return decodeRecord(v.announced[routeRecordSize*i : routeRecordSize*(i+1)])
+}
+
+// Validate bound-checks every record of the view against the per-prefix
+// system returned by lookup, with the same rules (and the same error text)
+// as Update.Validate, without materialising anything.
+func (v UpdateView) Validate(lookup func(prefix uint32) System) error {
+	for i, n := 0, v.NumWithdrawn(); i < n; i++ {
+		wd := v.WithdrawnAt(i)
+		sys := lookup(wd.Prefix)
+		if sys == nil {
+			return fmt.Errorf("wire: withdrawal for unknown prefix %d", wd.Prefix)
+		}
+		if int(wd.PathID) >= sys.NumExits() {
+			return fmt.Errorf("wire: withdrawal for prefix %d: path p%d outside topology (%d exits)",
+				wd.Prefix, wd.PathID, sys.NumExits())
+		}
+	}
+	for i, n := 0, v.NumAnnounced(); i < n; i++ {
+		rec := v.AnnouncedAt(i)
+		sys := lookup(rec.Prefix)
+		if sys == nil {
+			return fmt.Errorf("wire: record for unknown prefix %d", rec.Prefix)
+		}
+		if err := rec.Validate(sys); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendTo materialises the view into u, reusing u's slice storage — the
+// allocation-free way to keep an update past the lifetime of the view's
+// buffer. The result does not alias the buffer.
+func (v UpdateView) AppendTo(u *Update) {
+	u.Withdrawn = u.Withdrawn[:0]
+	u.Announced = u.Announced[:0]
+	for i, n := 0, v.NumWithdrawn(); i < n; i++ {
+		u.Withdrawn = append(u.Withdrawn, v.WithdrawnAt(i))
+	}
+	for i, n := 0, v.NumAnnounced(); i < n; i++ {
+		u.Announced = append(u.Announced, v.AnnouncedAt(i))
+	}
+}
+
+// Update materialises the view into a fresh Update.
+func (v UpdateView) Update() Update {
+	var u Update
+	v.AppendTo(&u)
+	return u
 }
 
 // System is the subset of a topology that decode-side validation reads;
