@@ -82,17 +82,18 @@ func BenchmarkCensus(b *testing.B) {
 		b.Fatal(err)
 	}
 	record := struct {
-		Job        string  `json:"job"`
-		Seeds      int     `json:"seeds"`
-		Shards     int     `json:"shards"`
-		SerialSec  float64 `json:"serial_sec"`
-		ShardedSec float64 `json:"sharded_sec"`
-		Speedup    float64 `json:"speedup"`
-		ClassicOsc int     `json:"classic_osc"`
-		WaltonOsc  int     `json:"walton_osc"`
-		Exhaustive int     `json:"exhaustive"`
-		States     int64   `json:"total_states"`
-		Identical  bool    `json:"aggregates_identical"`
+		Job        string   `json:"job"`
+		Seeds      int      `json:"seeds"`
+		Shards     int      `json:"shards"`
+		SerialSec  float64  `json:"serial_sec"`
+		ShardedSec float64  `json:"sharded_sec"`
+		Speedup    float64  `json:"speedup"`
+		ClassicOsc int      `json:"classic_osc"`
+		WaltonOsc  int      `json:"walton_osc"`
+		Exhaustive int      `json:"exhaustive"`
+		States     int64    `json:"total_states"`
+		Identical  bool     `json:"aggregates_identical"`
+		Env        benchEnv `json:"env"`
 	}{
 		Job:        "census/2-cluster-med-rich",
 		Seeds:      500,
@@ -105,6 +106,7 @@ func BenchmarkCensus(b *testing.B) {
 		Exhaustive: agg.Exhaustive,
 		States:     agg.TotalStates,
 		Identical:  true,
+		Env:        hostEnv(),
 	}
 	out, err := json.MarshalIndent(record, "", "  ")
 	if err != nil {

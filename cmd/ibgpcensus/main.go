@@ -9,9 +9,10 @@
 //
 // Usage:
 //
-//	ibgpcensus [-job census|fig13|fuzz|chaos|lint] [-shards N] [-workers N]
+//	ibgpcensus [-job census|fig13|fuzz|chaos|lint|scale] [-shards N] [-workers N]
 //	           [-seeds N] [-start S] [-params k=v,...] [-max-states N]
-//	           [-schedules N] [-plans N] [-checkpoint FILE] [-resume]
+//	           [-schedules N] [-plans N] [-churn k=v,...] [-rounds N]
+//	           [-mrai N] [-scale-plans N] [-checkpoint FILE] [-resume]
 //	           [-json] [-progress DUR] [-timeout DUR]
 //
 // -shards parallelises across seeds; -workers parallelises the
@@ -24,6 +25,7 @@
 //	ibgpcensus -job fig13 -start 8000 -seeds 2000    # Figure 13 hunt
 //	ibgpcensus -job chaos -seeds 200                 # fault-injection sweep
 //	ibgpcensus -job lint -seeds 500 -max-states 60000   # lint precision/recall
+//	ibgpcensus -job scale -seeds 8 -params pops=6,exits=6,prefixes=64   # sharded-core soak
 //	ibgpcensus -seeds 10000 -checkpoint c.jsonl      # checkpointed...
 //	ibgpcensus -seeds 10000 -checkpoint c.jsonl -resume   # ...and resumed
 //
@@ -44,6 +46,7 @@ import (
 	"syscall"
 
 	"repro/internal/campaign"
+	"repro/internal/churn"
 	"repro/internal/cli"
 	"repro/internal/protocol"
 	"repro/internal/topogen"
@@ -52,7 +55,7 @@ import (
 
 func main() {
 	var (
-		jobName    = flag.String("job", "census", "job kind: census, fig13, fuzz, chaos or lint")
+		jobName    = flag.String("job", "census", "job kind: census, fig13, fuzz, chaos, lint or scale")
 		shards     = flag.Int("shards", 0, "worker count (0: GOMAXPROCS); never changes the results, only the wall-clock")
 		seeds      = flag.Int("seeds", 256, "number of consecutive seeds")
 		start      = flag.Int64("start", 1, "first seed")
@@ -61,6 +64,10 @@ func main() {
 		workers    = flag.Int("workers", 1, "goroutines per reachable-state search (0: GOMAXPROCS); deterministic — never changes the aggregate")
 		schedules  = flag.Int("schedules", 4, "delay seeds per topology seed (fuzz job)")
 		plans      = flag.Int("plans", 3, "fault plans per topology seed (chaos job)")
+		churnSpec  = flag.String("churn", "", "churn workload overrides for the scale job, e.g. rate=40,flap=0.3 (seed and prefixes come from the campaign seed and the generated domain)")
+		rounds     = flag.Int("rounds", 3, "churn rounds per seed (scale job)")
+		mrai       = flag.Int64("mrai", 0, "per-session MRAI in virtual ticks (scale job; 0: no pacing)")
+		scalePlans = flag.Int("scale-plans", 0, "fault plans per seed for the scale job's chaos variant (0: off)")
 		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint path")
 		resume     = flag.Bool("resume", false, "resume from -checkpoint, running only missing seeds")
 		jsonOut    = flag.Bool("json", false, "write the aggregate as indented JSON on stdout")
@@ -103,8 +110,21 @@ func main() {
 			fatal(err)
 		}
 		job = campaign.LintJob{Spec: spec, MaxStates: *maxStates, Workers: exploreWorkers(*workers)}
+	case "scale":
+		spec, err := cli.ParseTopogenSpec(*params, topogen.Small())
+		if err != nil {
+			fatal(err)
+		}
+		cs, err := cli.ParseChurnSpec(*churnSpec, churn.DefaultSpec())
+		if err != nil {
+			fatal(err)
+		}
+		job = campaign.ScaleJob{
+			Spec: spec, Churn: cs, Rounds: *rounds, MRAI: *mrai,
+			Workers: exploreWorkers(*workers), Plans: *scalePlans,
+		}
 	default:
-		fatal(fmt.Errorf("unknown -job %q (want census, fig13, fuzz, chaos or lint)", *jobName))
+		fatal(fmt.Errorf("unknown -job %q (want census, fig13, fuzz, chaos, lint or scale)", *jobName))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -9,7 +9,7 @@
 //
 //	ibgpsoak [-spec default|small|KVLIST] [-topology FILE | -figure N]
 //	         [-seed N] [-duration D] [-rate R] [-churn KVLIST]
-//	         [-faults SPEC] [-substrate sim|tcp|both] [-mrai N]
+//	         [-faults SPEC] [-substrate sim|tcp|both] [-mrai N] [-workers N]
 //	         [-policy modified|...] [-order paper|rfc] [-med standard|always]
 //	         [-listen HOST:PORT] [-stats-every D] [-agg]
 //
@@ -94,6 +94,7 @@ func main() {
 		faultSpec  = flag.String("faults", "", `fault plan, e.g. "seed=7,drop=0.05,delay=0.2,maxdelay=30,horizon=600"`)
 		substrate  = flag.String("substrate", "both", "sim, tcp or both")
 		mrai       = flag.Int64("mrai", 0, "minimum route advertisement interval, sim ticks / tcp ms (0 off)")
+		workers    = flag.Int("workers", 1, "per-router refresh workers; every value yields the identical UPDATE stream, aggregate and state hash")
 		policy     = flag.String("policy", "modified", "classic, walton, modified or adaptive")
 		order      = flag.String("order", "paper", "rule order: paper or rfc")
 		med        = flag.String("med", "standard", "MED mode: standard or always")
@@ -139,6 +140,7 @@ func main() {
 		Opts:      opts,
 		Plan:      plan,
 		MRAI:      *mrai,
+		Workers:   *workers,
 		DelaySeed: *seed,
 	}
 

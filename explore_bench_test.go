@@ -95,15 +95,16 @@ func BenchmarkReachable(b *testing.B) {
 	b.ReportMetric(mallocsPerState, "mallocs/state")
 
 	record := struct {
-		Job             string  `json:"job"`
-		States          int     `json:"states"`
-		Transitions     int     `json:"transitions"`
-		Workers         int     `json:"workers"`
-		SerialSec       float64 `json:"serial_sec"`
-		ParallelSec     float64 `json:"parallel_sec"`
-		Speedup         float64 `json:"speedup"`
-		MallocsPerState float64 `json:"mallocs_per_state"`
-		Identical       bool    `json:"analyses_identical"`
+		Job             string   `json:"job"`
+		States          int      `json:"states"`
+		Transitions     int      `json:"transitions"`
+		Workers         int      `json:"workers"`
+		SerialSec       float64  `json:"serial_sec"`
+		ParallelSec     float64  `json:"parallel_sec"`
+		Speedup         float64  `json:"speedup"`
+		MallocsPerState float64  `json:"mallocs_per_state"`
+		Identical       bool     `json:"analyses_identical"`
+		Env             benchEnv `json:"env"`
 	}{
 		Job:             "reachable/3-cluster-med-rich-seed13",
 		States:          aSerial.States,
@@ -114,6 +115,7 @@ func BenchmarkReachable(b *testing.B) {
 		Speedup:         serial.Seconds() / parallel.Seconds(),
 		MallocsPerState: mallocsPerState,
 		Identical:       true,
+		Env:             hostEnv(),
 	}
 	writeBenchJSON(b, "BENCH_explore.json", record)
 }
@@ -142,6 +144,18 @@ func BenchmarkStateCodec(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchEnv is the host-parallelism stamp every BENCH_*.json record
+// carries: throughput and speedup figures are only comparable across
+// commits when the runner's CPU budget is known.
+type benchEnv struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+}
+
+func hostEnv() benchEnv {
+	return benchEnv{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 }
 
 func writeBenchJSON(b *testing.B, path string, record any) {

@@ -1,0 +1,262 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/bgp"
+	"repro/internal/churn"
+	"repro/internal/faults"
+	"repro/internal/forwarding"
+	"repro/internal/msgsim"
+	"repro/internal/protocol"
+	"repro/internal/selection"
+	"repro/internal/topogen"
+	"repro/internal/topology"
+)
+
+// ScaleJob is the ISP-scale operational workload: generate one provider
+// topology per seed (topogen, including its multi-prefix exit overlays),
+// run the sharded msgsim domain through a warm-up convergence and a few
+// churn rounds, and — when Plans > 0 — re-run the domain under derived
+// fault schedules and grade the chaos invariants per prefix. Everything
+// runs on the deterministic msgsim substrate with seed-derived delay
+// models, so the record is a pure function of the seed and aggregates are
+// byte-identical across shard, worker and refresh-worker counts.
+type ScaleJob struct {
+	// Spec selects the generated provider family, including the Prefixes
+	// knob (topogen.Generate).
+	Spec topogen.Spec
+	// Policy is the advertisement policy under test. The zero value
+	// (Classic) is coerced to Modified, as in ChaosJob: the warm-up and
+	// re-convergence gates presuppose a convergence guarantee.
+	Policy protocol.Policy
+	// Churn shapes the per-round event workload; the zero value gets
+	// churn.DefaultSpec. Seed and Prefixes are overridden per seed so the
+	// record stays a function of the campaign seed and the generated
+	// domain.
+	Churn churn.Spec
+	// Rounds is the number of churn rounds after warm-up (default 3).
+	Rounds int
+	// MRAI is the per-session minimum route advertisement interval in
+	// virtual ticks (0 disables pacing, the default).
+	MRAI int64
+	// Workers is the per-router refresh worker count
+	// (router.Router.SetWorkers). The emitted UPDATE stream — and hence
+	// every field of the record — is identical for every value; it only
+	// changes the wall-clock of the per-prefix recompute fan-out.
+	Workers int
+	// Plans is the number of fault schedules per seed for the chaos-plan
+	// variant; 0 (the default) skips fault injection entirely.
+	Plans int
+	// Faults is the fault intensity of the chaos-plan variant; the zero
+	// value gets ChaosJob's moderate defaults.
+	Faults faults.RandomConfig
+	// MaxEvents bounds the warm-up and each subsequent run extension
+	// (default 500000 — scale domains move R*P prefixes' worth of
+	// messages per convergence).
+	MaxEvents int
+}
+
+func (j ScaleJob) Name() string { return "scale" }
+
+func (j ScaleJob) Describe() string {
+	return fmt.Sprintf("%+v policy=%v churn=%v rounds=%d mrai=%d workers=%d plans=%d",
+		j.Spec, j.Policy, j.Churn, j.Rounds, j.MRAI, j.Workers, j.Plans)
+}
+
+func (j ScaleJob) fill() ScaleJob {
+	if j.Policy == 0 {
+		j.Policy = protocol.Modified
+	}
+	if (j.Churn == churn.Spec{}) {
+		j.Churn = churn.DefaultSpec()
+	}
+	if j.Rounds <= 0 {
+		j.Rounds = 3
+	}
+	if j.Workers < 1 {
+		j.Workers = 1
+	}
+	if j.Plans > 0 && j.Faults == (faults.RandomConfig{}) {
+		j.Faults = faults.RandomConfig{
+			Drop: 0.1, Duplicate: 0.05, Reorder: 0.05, Delay: 0.2,
+			MaxExtraDelay: 15, Resets: 2, Horizon: 500,
+		}
+	}
+	if j.MaxEvents <= 0 {
+		j.MaxEvents = 500000
+	}
+	return j
+}
+
+// domain generates one seed's prefix-indexed system map. Every prefix
+// shares the base session graph (topology.BuildSpecAll layers the
+// generated PrefixExits as overlays), so router.NewDomain takes the
+// shared-graph fast path and the whole domain costs one IGP solve.
+func (j ScaleJob) domain(seed int64) (map[uint32]*topology.System, error) {
+	spec, err := topogen.Generate(j.Spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	systems, err := topology.BuildSpecAll(spec)
+	if err != nil {
+		return nil, err
+	}
+	dom := make(map[uint32]*topology.System, len(systems))
+	for i, sys := range systems {
+		dom[uint32(i)] = sys
+	}
+	return dom, nil
+}
+
+// sim builds one configured simulator over the domain.
+func (j ScaleJob) sim(dom map[uint32]*topology.System, delay msgsim.DelayFunc) *msgsim.Sim {
+	s := msgsim.NewMulti(dom, j.Policy, selection.Options{}, delay)
+	if j.MRAI > 0 {
+		s.SetMRAI(j.MRAI)
+	}
+	if j.Workers > 1 {
+		s.SetWorkers(j.Workers)
+	}
+	return s
+}
+
+// bestVectors snapshots every prefix's per-router best configuration.
+func bestVectors(s *msgsim.Sim, n, prefixes int) [][]bgp.PathID {
+	out := make([][]bgp.PathID, prefixes)
+	for p := 0; p < prefixes; p++ {
+		best := make([]bgp.PathID, n)
+		for u := 0; u < n; u++ {
+			best[u] = s.BestFor(uint32(p), bgp.NodeID(u))
+		}
+		out[p] = best
+	}
+	return out
+}
+
+// Run processes one seed: warm-up to quiescence, churn rounds, then the
+// optional chaos plans. Quiesced counts the warm-up plus every churn
+// round and faulted run that reached rest; the chaos invariants
+// (Reconverged, LoopFree, LedgerBroken) are graded over all prefixes at
+// once — one prefix's loop or stale best fails the whole plan.
+func (j ScaleJob) Run(ctx context.Context, seed int64, m *Meter) SeedResult {
+	j = j.fill()
+	res := SeedResult{Seed: seed}
+	dom, err := j.domain(seed)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	base := dom[0]
+	res.Nodes = base.N()
+
+	// Warm-up and churn under a seed-derived random delay model.
+	s := j.sim(dom, msgsim.MustRandomDelay(seed+1, 1, 10))
+	s.InjectAll()
+	r := s.Run(j.MaxEvents)
+	if r.Quiesced {
+		res.Quiesced++
+	}
+
+	spec := j.Churn
+	spec.Seed = seed
+	spec.Prefixes = len(dom)
+	paths := make([]bgp.PathID, len(base.Exits()))
+	for i, p := range base.Exits() {
+		paths[i] = p.ID
+	}
+	st, err := churn.NewStream(spec, paths)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	for rd := 0; rd < j.Rounds && ctx.Err() == nil; rd++ {
+		evs := st.Next()
+		at := s.Now() + 1
+		if anchor := int64(rd) * spec.Period; at < anchor {
+			at = anchor
+		}
+		for _, ev := range evs {
+			if ev.Withdraw {
+				s.WithdrawPrefixAt(at+ev.At, ev.Prefix, ev.Path)
+			} else {
+				s.InjectPrefixAt(at+ev.At, ev.Prefix, ev.Path)
+			}
+		}
+		// Run's event budget is cumulative; each round extends it.
+		r = s.Run(r.Events + j.MaxEvents)
+		if r.Quiesced {
+			res.Quiesced++
+		}
+	}
+	c := s.Counters()
+	res.Messages += int(c.Sent)
+	res.Flaps += int(c.Flaps)
+	m.Steps.Add(c.Sent)
+
+	if j.Plans <= 0 || ctx.Err() != nil {
+		return res
+	}
+
+	// Chaos-plan variant: the fault-free constant-delay reference is the
+	// unique Lemma 7.4 configuration every faulted run must return to.
+	ref := j.sim(dom, msgsim.ConstantDelay(1))
+	ref.InjectAll()
+	if !ref.Run(j.MaxEvents).Quiesced {
+		res.Err = fmt.Sprintf("scale: fault-free baseline did not quiesce in %d events", j.MaxEvents)
+		return res
+	}
+	want := bestVectors(ref, base.N(), len(dom))
+
+	for i := 0; i < j.Plans; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		// Plan seeds are derived from the topology seed, like ChaosJob's.
+		planSeed := seed*int64(j.Plans) + int64(i)
+		plan, err := faults.RandomPlan(planSeed, base.N(), j.Faults)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		fs := j.sim(dom, msgsim.MustRandomDelay(planSeed+1, 1, 10))
+		if err := fs.SetFaults(plan); err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		fs.InjectAll()
+		fr := fs.Run(j.MaxEvents)
+		fc := fs.Counters()
+		res.ChaosPlans++
+		res.Messages += int(fc.Sent)
+		res.Flaps += int(fc.Flaps)
+		m.Steps.Add(fc.Sent)
+		if fr.Quiesced {
+			res.Quiesced++
+		}
+		got := bestVectors(fs, base.N(), len(dom))
+		reconverged, loopFree := true, true
+		for p := range got {
+			for u := range got[p] {
+				if got[p][u] != want[p][u] {
+					reconverged = false
+					break
+				}
+			}
+			if !forwarding.NewPlane(dom[uint32(p)], protocol.Snapshot{Best: got[p]}).LoopFree() {
+				loopFree = false
+			}
+		}
+		if reconverged {
+			res.Reconverged++
+		}
+		if loopFree {
+			res.LoopFree++
+		}
+		if fc.Sent != fc.Received+fc.Rejected+fc.Dropped {
+			res.LedgerBroken++
+		}
+	}
+	return res
+}

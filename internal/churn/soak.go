@@ -40,6 +40,10 @@ type Config struct {
 	// MRAI is the per-session minimum route advertisement interval in
 	// transport clock units (0 disables).
 	MRAI int64
+	// Workers is the per-router refresh fan-out (router.SetWorkers) on
+	// both substrates. Every value produces the identical UPDATE stream,
+	// aggregate and state hash; values below 2 run serially.
+	Workers int
 	// DelaySeed seeds msgsim's random per-message delay model; 0 derives
 	// a seed from Spec.Seed. MaxDelay bounds the delays (default 10).
 	// Delays are always jittered, never constant: perfectly synchronous
@@ -464,6 +468,9 @@ func SoakSim(sys *topology.System, cfg Config) (*Report, error) {
 	if cfg.MRAI > 0 {
 		s.SetMRAI(cfg.MRAI)
 	}
+	if cfg.Workers > 1 {
+		s.SetWorkers(cfg.Workers)
+	}
 	if err := s.SetFaults(cfg.Plan); err != nil {
 		return nil, err
 	}
@@ -542,6 +549,9 @@ func SoakTCP(sys *topology.System, cfg Config) (*Report, error) {
 	}
 	if cfg.MRAI > 0 {
 		n.SetMRAI(cfg.MRAI)
+	}
+	if cfg.Workers > 1 {
+		n.SetWorkers(cfg.Workers)
 	}
 	if err := n.SetFaults(cfg.Plan); err != nil {
 		return nil, err

@@ -139,7 +139,7 @@ func ParseCrossedSpec(s string, base workload.CrossedSpec) (workload.CrossedSpec
 
 // ParseTopogenSpec maps a -params / -gen value onto the ISP topology
 // generator family: keys regions, rrs, pops, poprrs, clients, ases,
-// exits, maxmed, corecost, accesscost.
+// exits, prefixes, maxmed, corecost, accesscost.
 func ParseTopogenSpec(s string, base topogen.Spec) (topogen.Spec, error) {
 	spec := base
 	err := parseKVList(s, map[string]func(string) error{
@@ -150,6 +150,7 @@ func ParseTopogenSpec(s string, base topogen.Spec) (topogen.Spec, error) {
 		"clients":    intField(&spec.ClientsPerPoP),
 		"ases":       intField(&spec.ASes),
 		"exits":      intField(&spec.Exits),
+		"prefixes":   intField(&spec.Prefixes),
 		"maxmed":     intField(&spec.MaxMED),
 		"corecost":   int64Field(&spec.CoreCost),
 		"accesscost": int64Field(&spec.AccessCost),

@@ -286,6 +286,17 @@ func (s *Sim) SetMRAI(d int64) {
 	}
 }
 
+// SetWorkers sets the per-router refresh fan-out (router.SetWorkers):
+// each refresh's per-prefix recompute/diff phase runs on up to n
+// goroutines. The event queue, delivery order and emitted UPDATE stream
+// are byte-identical for every value — the simulator stays deterministic.
+// Call before Run.
+func (s *Sim) SetWorkers(n int) {
+	for _, rt := range s.routers {
+		rt.SetWorkers(n)
+	}
+}
+
 // dropRTO is the virtual-tick retransmission backoff after a fault-dropped
 // message: the sender re-runs refresh and re-sends what it still owes.
 const dropRTO = 17

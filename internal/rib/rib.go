@@ -21,24 +21,61 @@ type Update struct {
 	Withdraw []bgp.PathID
 }
 
-// RIB is the state of one I-BGP speaker. It is not safe for concurrent
-// use; callers serialise access (msgsim is single-threaded, speaker routers
-// own their RIB from a single goroutine).
+// Peering is the immutable peer table of one router: the sorted I-BGP peer
+// list plus a dense NodeID→position index. The table depends only on the
+// session graph, which every prefix of a multi-prefix domain shares, so
+// one Peering serves all P of a router's RIBs instead of P copies of the
+// same map pair — the dominant per-RIB memory term at R routers × P
+// prefixes.
+type Peering struct {
+	peers []bgp.NodeID
+	idx   []int32 // NodeID → position in peers; -1 when not a peer
+}
+
+// NewPeering builds the peer table of router id over sys's session graph.
+func NewPeering(sys *topology.System, id bgp.NodeID) *Peering {
+	pg := &Peering{peers: sys.Peers(id), idx: make([]int32, sys.N())}
+	for i := range pg.idx {
+		pg.idx[i] = -1
+	}
+	for i, w := range pg.peers {
+		pg.idx[w] = int32(i)
+	}
+	return pg
+}
+
+// Peers returns the peer list in increasing node order. Callers must not
+// mutate it.
+func (p *Peering) Peers() []bgp.NodeID { return p.peers }
+
+// Index returns w's position in Peers, or -1 when w is not a peer.
+func (p *Peering) Index(w bgp.NodeID) int {
+	if int(w) < 0 || int(w) >= len(p.idx) {
+		return -1
+	}
+	return int(p.idx[w])
+}
+
+// RIB is the state of one I-BGP speaker for one prefix. It is not safe for
+// concurrent use; callers serialise access (msgsim is single-threaded,
+// speaker routers own their RIBs from a single goroutine, and the parallel
+// refresh in package router hands each RIB to exactly one worker per
+// round).
 type RIB struct {
 	sys    *topology.System
 	policy protocol.Policy
 	opts   selection.Options
 	id     bgp.NodeID
 
-	// peers is the fixed I-BGP peer set in increasing node order. The
-	// adjIn/lastSent key sets never change after New (sessions are
-	// configured, not discovered), so iterating this slice replaces every
-	// per-call map walk and sort on the decision-process hot path.
-	peers []bgp.NodeID
+	// pg is the fixed I-BGP peer table. The adjIn/lastSent index space
+	// never changes after New (sessions are configured, not discovered), so
+	// iterating pg.peers replaces every per-call map walk and sort on the
+	// decision-process hot path.
+	pg *Peering
 
 	myExits  bgp.PathSet
-	adjIn    map[bgp.NodeID]*bgp.PathSet
-	lastSent map[bgp.NodeID]*bgp.PathSet
+	adjIn    []bgp.PathSet // indexed by peer position (pg.Index)
+	lastSent []bgp.PathSet // indexed by peer position (pg.Index)
 	best     bgp.PathID
 
 	// Adaptive-policy state (protocol.Adaptive): revisit count, the set of
@@ -50,13 +87,20 @@ type RIB struct {
 
 	// scr is the per-refresh-round reusable storage that makes the
 	// RecomputeBest → PrepareFlush → per-peer TargetInto/CommitFlushAppend
-	// cycle allocation-free once warm. Single-owner like the RIB itself.
-	scr scratch
+	// cycle allocation-free once warm. Single-owner at any instant; a
+	// multi-prefix router shares one Scratch per worker across its RIBs
+	// (SetScratch) because the prepared state never outlives one prefix's
+	// recompute-and-diff step.
+	scr *Scratch
 }
 
-// scratch holds the decision-process working set. Every slice is reused
-// via the append(x[:0], ...) idiom; every PathSet via Copy/Clear.
-type scratch struct {
+// Scratch holds the decision-process working set. Every slice is reused
+// via the append(x[:0], ...) idiom; every PathSet via Copy/Clear. The
+// prepared-flush state (adv/want/kinds/origins, and target/tids/lids while
+// diffing) is only valid between one RIB's PrepareFlush and the next RIB
+// touching the Scratch, which is why sharing is per-worker, never
+// per-round.
+type Scratch struct {
 	possible bgp.PathSet     // candidate path IDs
 	ids      []bgp.PathID    // possible, flattened
 	cands    []bgp.Route     // materialised candidate routes (stable)
@@ -74,51 +118,75 @@ type scratch struct {
 	lids   []bgp.PathID // lastSent, flattened (diffing)
 }
 
-// New returns an empty RIB for router id.
-func New(sys *topology.System, policy protocol.Policy, opts selection.Options, id bgp.NodeID) *RIB {
-	r := &RIB{
-		sys:      sys,
-		policy:   policy,
-		opts:     opts,
-		id:       id,
-		adjIn:    map[bgp.NodeID]*bgp.PathSet{},
-		lastSent: map[bgp.NodeID]*bgp.PathSet{},
-		best:     bgp.None,
-	}
-	r.peers = sys.Peers(id)
-	for _, w := range r.peers {
-		var a, l bgp.PathSet
-		r.adjIn[w] = &a
-		r.lastSent[w] = &l
-	}
-	// Pre-size the decision-process scratch to the topology's bounds (every
-	// working set is at most the exit-path count), so short-lived routers —
-	// a soak round's fresh sim, a census shard — don't pay append-growth
-	// allocations on their first refreshes before the scratch warms. The
-	// same-typed slices share one backing array each, sliced with full cap
-	// so appends can never cross into a neighbour.
-	n := sys.NumExits()
+// NewScratch pre-sizes a decision-process scratch for systems of up to n
+// exit paths (every working set is at most the exit-path count), so
+// short-lived routers — a soak round's fresh sim, a census shard — don't
+// pay append-growth allocations on their first refreshes before the
+// scratch warms. The same-typed slices share one backing array each,
+// sliced with full cap so appends can never cross into a neighbour; a
+// larger system degrades to append growth, never to corruption.
+func NewScratch(n int) *Scratch {
+	s := &Scratch{}
 	pid := make([]bgp.PathID, 4*n)
-	r.scr.ids = pid[0*n : 0*n : 1*n]
-	r.scr.want = pid[1*n : 1*n : 2*n]
-	r.scr.tids = pid[2*n : 2*n : 3*n]
-	r.scr.lids = pid[3*n : 3*n : 4*n]
+	s.ids = pid[0*n : 0*n : 1*n]
+	s.want = pid[1*n : 1*n : 2*n]
+	s.tids = pid[2*n : 2*n : 3*n]
+	s.lids = pid[3*n : 3*n : 4*n]
 	rts := make([]bgp.Route, 2*n)
-	r.scr.cands = rts[0:0:n]
-	r.scr.sel = rts[n : n : 2*n]
-	r.scr.paths = make([]bgp.ExitPath, 0, n)
-	r.scr.kinds = make([]int, 0, n)
-	r.scr.origins = make([]bgp.NodeID, 0, n)
-	r.scr.possible.Grow(n)
-	r.scr.adv.Grow(n)
-	r.scr.target.Grow(n)
-	r.myExits.Grow(n)
-	for _, w := range r.peers {
-		r.adjIn[w].Grow(n)
-		r.lastSent[w].Grow(n)
+	s.cands = rts[0:0:n]
+	s.sel = rts[n : n : 2*n]
+	s.paths = make([]bgp.ExitPath, 0, n)
+	s.kinds = make([]int, 0, n)
+	s.origins = make([]bgp.NodeID, 0, n)
+	s.possible.Grow(n)
+	s.adv.Grow(n)
+	s.target.Grow(n)
+	return s
+}
+
+// New returns an empty RIB for router id with its own peer table and
+// scratch.
+func New(sys *topology.System, policy protocol.Policy, opts selection.Options, id bgp.NodeID) *RIB {
+	return NewShared(sys, policy, opts, id, nil, nil)
+}
+
+// NewShared returns an empty RIB for router id reusing a shared peer table
+// and scratch. Either may be nil, in which case the RIB builds its own.
+// The peer table must have been built for the same router over the same
+// session graph; the scratch must be sized for at least this system's exit
+// count to stay allocation-free (a smaller one still computes correctly).
+func NewShared(sys *topology.System, policy protocol.Policy, opts selection.Options, id bgp.NodeID, pg *Peering, scr *Scratch) *RIB {
+	if pg == nil {
+		pg = NewPeering(sys, id)
 	}
+	if scr == nil {
+		scr = NewScratch(sys.NumExits())
+	}
+	r := &RIB{
+		sys:    sys,
+		policy: policy,
+		opts:   opts,
+		id:     id,
+		pg:     pg,
+		scr:    scr,
+		best:   bgp.None,
+	}
+	n := sys.NumExits()
+	np := len(pg.peers)
+	r.adjIn = make([]bgp.PathSet, np)
+	r.lastSent = make([]bgp.PathSet, np)
+	for i := range r.adjIn {
+		r.adjIn[i].Grow(n)
+		r.lastSent[i].Grow(n)
+	}
+	r.myExits.Grow(n)
 	return r
 }
+
+// SetScratch points the RIB at a different scratch. The parallel refresh
+// uses this to hand each worker's scratch to the RIBs of its shard; any
+// prepared-flush state in the previous scratch is abandoned.
+func (r *RIB) SetScratch(s *Scratch) { r.scr = s }
 
 // ID returns the router this RIB belongs to.
 func (r *RIB) ID() bgp.NodeID { return r.id }
@@ -139,8 +207,8 @@ func (r *RIB) BestRoute() (bgp.Route, bool) {
 // the Adj-RIB-Ins.
 func (r *RIB) Possible() bgp.PathSet {
 	out := r.myExits.Clone()
-	for _, w := range r.peers {
-		out.Union(*r.adjIn[w])
+	for i := range r.adjIn {
+		out.Union(r.adjIn[i])
 	}
 	return out
 }
@@ -150,8 +218,8 @@ func (r *RIB) MyExits() bgp.PathSet { return r.myExits.Clone() }
 
 // AdjIn returns the paths peer w currently advertises to this router.
 func (r *RIB) AdjIn(w bgp.NodeID) bgp.PathSet {
-	if s, ok := r.adjIn[w]; ok {
-		return s.Clone()
+	if i := r.pg.Index(w); i >= 0 {
+		return r.adjIn[i].Clone()
 	}
 	return bgp.PathSet{}
 }
@@ -164,10 +232,11 @@ func (r *RIB) WithdrawExternal(id bgp.PathID) { r.myExits.Remove(id) }
 
 // ApplyUpdate merges an UPDATE received from peer w.
 func (r *RIB) ApplyUpdate(w bgp.NodeID, announce, withdraw []bgp.PathID) {
-	in, ok := r.adjIn[w]
-	if !ok {
+	i := r.pg.Index(w)
+	if i < 0 {
 		return // not a configured peer; drop
 	}
+	in := &r.adjIn[i]
 	for _, id := range announce {
 		in.Add(id)
 	}
@@ -185,15 +254,13 @@ func (r *RIB) ApplyUpdate(w bgp.NodeID, announce, withdraw []bgp.PathID) {
 // (Refresh/RecomputeBest); until then Possible may still surface the dead
 // routes of other peers, never w's.
 func (r *RIB) PeerDown(w bgp.NodeID) (flushed int) {
-	in, ok := r.adjIn[w]
-	if !ok {
+	i := r.pg.Index(w)
+	if i < 0 {
 		return 0
 	}
-	flushed = in.Len()
-	in.Clear()
-	if last, ok := r.lastSent[w]; ok {
-		last.Clear()
-	}
+	flushed = r.adjIn[i].Len()
+	r.adjIn[i].Clear()
+	r.lastSent[i].Clear()
 	return flushed
 }
 
@@ -206,8 +273,8 @@ func (r *RIB) learnedFrom(p bgp.ExitPath) int {
 		return p.NextHopID
 	}
 	lf := int(^uint(0) >> 1)
-	for _, w := range r.peers {
-		if r.adjIn[w].Contains(p.ID) {
+	for i, w := range r.pg.peers {
+		if r.adjIn[i].Contains(p.ID) {
 			if id := r.sys.BGPID(w); id < lf {
 				lf = id
 			}
@@ -236,8 +303,8 @@ func (r *RIB) sourceKind(id bgp.PathID) (kind int, origin bgp.NodeID) {
 	// from the mesh, lose each other's copy, reclassify it client-learned,
 	// and re-announce — a permanent oscillation that Lemma 7.4 forbids.
 	found := bgp.NodeID(-1)
-	for _, w := range r.peers {
-		if !r.adjIn[w].Contains(id) {
+	for i, w := range r.pg.peers {
+		if !r.adjIn[i].Contains(id) {
 			continue
 		}
 		if r.sys.ServedBy(w, r.id) {
@@ -280,8 +347,8 @@ func (r *RIB) allowedTo(kind int, origin, w bgp.NodeID) bool {
 // everything in the Adj-RIB-Ins — reusing out's storage.
 func (r *RIB) possibleInto(out *bgp.PathSet) {
 	out.Copy(r.myExits)
-	for _, w := range r.peers {
-		out.Union(*r.adjIn[w])
+	for i := range r.adjIn {
+		out.Union(r.adjIn[i])
 	}
 }
 
@@ -373,9 +440,9 @@ func (r *RIB) RecomputeBest() (bestChanged bool) {
 // fan-out — the advertise set and each wanted path's source classification
 // — into the RIB's reusable scratch. It must run after RecomputeBest (it
 // reuses the candidate materialisation) with no intervening RIB mutation;
-// the prepared state then feeds TargetInto, OwedTo and CommitFlushAppend
-// for every peer of the round, so one refresh costs one decision process
-// and zero allocations once the scratch is warm.
+// the prepared state then feeds TargetInto, OwedTo, DiffInto and
+// CommitFlushAppend for every peer of the round, so one refresh costs one
+// decision process and zero allocations once the scratch is warm.
 func (r *RIB) PrepareFlush() {
 	r.advertiseInto(&r.scr.adv)
 	r.scr.want = r.scr.adv.AppendIDs(r.scr.want[:0])
@@ -404,12 +471,62 @@ func (r *RIB) TargetInto(w bgp.NodeID, target *bgp.PathSet) {
 // last advertised — the allocation-free "is an UPDATE owed" probe. Valid
 // only between a PrepareFlush and the next RIB mutation.
 func (r *RIB) OwedTo(w bgp.NodeID) bool {
-	last, ok := r.lastSent[w]
-	if !ok {
+	i := r.pg.Index(w)
+	if i < 0 {
 		return false
 	}
 	r.TargetInto(w, &r.scr.target)
-	return !r.scr.target.Equal(*last)
+	return !r.scr.target.Equal(r.lastSent[i])
+}
+
+// DiffInto appends the owed announce/withdraw diff for peer w to ann and
+// wd without committing it — the same records CommitFlushAppend would
+// emit, but the advertisement memory is left untouched so the caller can
+// decide per transport outcome whether to commit (ApplyDiff) or leave the
+// diff owed. Valid only between a PrepareFlush and the next RIB mutation.
+func (r *RIB) DiffInto(w bgp.NodeID, ann, wd []bgp.PathID) ([]bgp.PathID, []bgp.PathID) {
+	i := r.pg.Index(w)
+	if i < 0 {
+		return ann, wd
+	}
+	last := &r.lastSent[i]
+	r.TargetInto(w, &r.scr.target)
+	if r.scr.target.Equal(*last) {
+		return ann, wd
+	}
+	r.scr.tids = r.scr.target.AppendIDs(r.scr.tids[:0])
+	for _, id := range r.scr.tids {
+		if !last.Contains(id) {
+			ann = append(ann, id)
+		}
+	}
+	r.scr.lids = last.AppendIDs(r.scr.lids[:0])
+	for _, id := range r.scr.lids {
+		if !r.scr.target.Contains(id) {
+			wd = append(wd, id)
+		}
+	}
+	return ann, wd
+}
+
+// ApplyDiff commits a diff previously produced by DiffInto, once its
+// UPDATE actually went out: lastSent' = lastSent + ann − wd. This equals
+// the full-set copy CommitFlushAppend performs because the diff was
+// computed against this same lastSent (ann = target − lastSent, wd =
+// lastSent − target). Skipping ApplyDiff after a failed send is the new
+// rollback: nothing was committed, so the diff simply stays owed.
+func (r *RIB) ApplyDiff(w bgp.NodeID, ann, wd []bgp.PathID) {
+	i := r.pg.Index(w)
+	if i < 0 {
+		return
+	}
+	last := &r.lastSent[i]
+	for _, id := range ann {
+		last.Add(id)
+	}
+	for _, id := range wd {
+		last.Remove(id)
+	}
 }
 
 // CommitFlushAppend commits the prepared target for peer w and appends the
@@ -418,10 +535,11 @@ func (r *RIB) OwedTo(w bgp.NodeID) bool {
 // updated by copy, never by aliasing caller storage. Valid only between a
 // PrepareFlush and the next RIB mutation.
 func (r *RIB) CommitFlushAppend(w bgp.NodeID, ann, wd []bgp.PathID) ([]bgp.PathID, []bgp.PathID) {
-	last, ok := r.lastSent[w]
-	if !ok {
+	i := r.pg.Index(w)
+	if i < 0 {
 		return ann, wd
 	}
+	last := &r.lastSent[i]
 	r.TargetInto(w, &r.scr.target)
 	if r.scr.target.Equal(*last) {
 		return ann, wd
@@ -445,16 +563,16 @@ func (r *RIB) CommitFlushAppend(w bgp.NodeID, ann, wd []bgp.PathID) ([]bgp.PathI
 // Learn merges one announced path from peer w — the per-record counterpart
 // of ApplyUpdate for receivers iterating a wire.UpdateView.
 func (r *RIB) Learn(w bgp.NodeID, id bgp.PathID) {
-	if in, ok := r.adjIn[w]; ok {
-		in.Add(id)
+	if i := r.pg.Index(w); i >= 0 {
+		r.adjIn[i].Add(id)
 	}
 }
 
 // Unlearn removes one withdrawn path from peer w — the per-record
 // counterpart of ApplyUpdate for receivers iterating a wire.UpdateView.
 func (r *RIB) Unlearn(w bgp.NodeID, id bgp.PathID) {
-	if in, ok := r.adjIn[w]; ok {
-		in.Remove(id)
+	if i := r.pg.Index(w); i >= 0 {
+		r.adjIn[i].Remove(id)
 	}
 }
 
@@ -474,8 +592,8 @@ func (r *RIB) TargetFor(w bgp.NodeID) bgp.PathSet {
 
 // LastSent returns what was last advertised to peer w.
 func (r *RIB) LastSent(w bgp.NodeID) bgp.PathSet {
-	if s, ok := r.lastSent[w]; ok {
-		return s.Clone()
+	if i := r.pg.Index(w); i >= 0 {
+		return r.lastSent[i].Clone()
 	}
 	return bgp.PathSet{}
 }
@@ -484,8 +602,8 @@ func (r *RIB) LastSent(w bgp.NodeID) bgp.PathSet {
 // allocating — the scratch counterpart of LastSent for the rollback
 // snapshots a transport keeps across a send.
 func (r *RIB) CopyLastSent(w bgp.NodeID, dst *bgp.PathSet) {
-	if s, ok := r.lastSent[w]; ok {
-		dst.Copy(*s)
+	if i := r.pg.Index(w); i >= 0 {
+		dst.Copy(r.lastSent[i])
 	} else {
 		dst.Clear()
 	}
@@ -495,8 +613,12 @@ func (r *RIB) CopyLastSent(w bgp.NodeID, dst *bgp.PathSet) {
 // withdraw diff to put on the wire. Both slices are nil when nothing
 // changed.
 func (r *RIB) CommitSend(w bgp.NodeID, target bgp.PathSet) (announce, withdraw []bgp.PathID) {
-	last := r.lastSent[w]
-	if last == nil || target.Equal(*last) {
+	i := r.pg.Index(w)
+	if i < 0 {
+		return nil, nil
+	}
+	last := &r.lastSent[i]
+	if target.Equal(*last) {
 		return nil, nil
 	}
 	for _, id := range target.IDs() {
@@ -519,10 +641,10 @@ func (r *RIB) CommitSend(w bgp.NodeID, target bgp.PathSet) (announce, withdraw [
 // repair BGP gets from TCP retransmission — without it, one lost UPDATE
 // would strand the peer's Adj-RIB-In stale forever.
 func (r *RIB) RestoreLastSent(w bgp.NodeID, prev bgp.PathSet) {
-	if last, ok := r.lastSent[w]; ok {
+	if i := r.pg.Index(w); i >= 0 {
 		// Copy, never alias: prev may live in a transport's reusable
 		// snapshot scratch that is overwritten on the next flush.
-		last.Copy(prev)
+		r.lastSent[i].Copy(prev)
 	}
 }
 
@@ -539,7 +661,7 @@ func (r *RIB) Refresh() (bestChanged bool, updates []Update) {
 	for i, id := range want {
 		kinds[i], origins[i] = r.sourceKind(id)
 	}
-	for _, w := range r.peers {
+	for _, w := range r.pg.peers {
 		var target bgp.PathSet
 		for i, id := range want {
 			if r.allowedTo(kinds[i], origins[i], w) {

@@ -1,0 +1,122 @@
+package router_test
+
+// Parallel-refresh determinism: Options.Workers fans the per-prefix
+// recompute/diff phase over a worker pool, but the merge phase emits
+// UPDATEs serially in sorted prefix order — so the wire stream a router
+// produces must be byte-identical for every worker count, on every
+// figure and on true multi-prefix overlay domains. These tests pin that
+// guarantee at the strongest granularity available: the full encoded
+// UPDATE sequence with sender, receiver and timestamps.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/msgsim"
+	"repro/internal/protocol"
+	"repro/internal/router"
+	"repro/internal/selection"
+	"repro/internal/topogen"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+var workerCounts = []int{1, 2, 4, 8}
+
+// updateStream runs one simulation and returns the full encoded UPDATE
+// stream plus the final counters; drive customises injections after the
+// sim is built.
+func updateStream(t *testing.T, systems map[uint32]*topology.System, workers int,
+	drive func(*msgsim.Sim)) ([]byte, router.Snapshot) {
+	t.Helper()
+	s := msgsim.NewMulti(systems, protocol.Modified, selection.Options{}, msgsim.MustRandomDelay(7, 1, 10))
+	s.SetWorkers(workers)
+	var buf []byte
+	s.ObserveEvents(func(ev router.Event) {
+		if ev.Kind != router.UpdateSent || ev.Update == nil {
+			return
+		}
+		buf = binary.AppendVarint(buf, ev.Time)
+		buf = binary.AppendVarint(buf, int64(ev.Node))
+		buf = binary.AppendVarint(buf, int64(ev.Peer))
+		enc, err := wire.AppendUpdate(buf, ev.Update)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = enc
+	})
+	drive(s)
+	res := s.Run(2_000_000)
+	if !res.Quiesced {
+		t.Fatalf("workers=%d: did not quiesce", workers)
+	}
+	return buf, s.Counters()
+}
+
+func single(sys *topology.System) map[uint32]*topology.System {
+	return map[uint32]*topology.System{0: sys}
+}
+
+// TestParallelRefreshMatchesSerialOnEveryFigure: every bundled figure,
+// every worker count, byte-identical streams and identical counters.
+func TestParallelRefreshMatchesSerialOnEveryFigure(t *testing.T) {
+	for _, entry := range figures.All() {
+		f := entry.Build()
+		want, wantC := updateStream(t, single(f.Sys), 1, (*msgsim.Sim).InjectAll)
+		for _, w := range workerCounts[1:] {
+			got, gotC := updateStream(t, single(f.Sys), w, (*msgsim.Sim).InjectAll)
+			if !bytes.Equal(want, got) {
+				t.Errorf("%s: workers=%d UPDATE stream differs from serial (%d vs %d bytes)",
+					entry.Name, w, len(want), len(got))
+			}
+			if gotC != wantC {
+				t.Errorf("%s: workers=%d counters differ: %+v vs %+v", entry.Name, w, gotC, wantC)
+			}
+		}
+	}
+}
+
+// TestParallelRefreshMatchesSerialMultiPrefix drives a generated overlay
+// domain — distinct per-prefix exit sets over one shared session graph —
+// through warm-up plus mid-run withdrawals and re-announcements.
+func TestParallelRefreshMatchesSerialMultiPrefix(t *testing.T) {
+	spec := topogen.Small()
+	spec.Prefixes = 12
+	gen, err := topogen.Generate(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	systems, err := topology.BuildSpecAll(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := make(map[uint32]*topology.System, len(systems))
+	for i, sys := range systems {
+		dom[uint32(i)] = sys
+	}
+	drive := func(s *msgsim.Sim) {
+		s.InjectAll()
+		// Mid-run churn across several prefixes: withdraw-then-reannounce
+		// pairs and a persistent withdrawal, at staggered times.
+		for p := uint32(0); p < uint32(spec.Prefixes); p += 3 {
+			s.WithdrawPrefixAt(500+int64(p), p, 0)
+			s.InjectPrefixAt(900+int64(p), p, 0)
+		}
+		s.WithdrawPrefixAt(1200, 1, 1)
+	}
+	want, wantC := updateStream(t, dom, 1, drive)
+	if len(want) == 0 {
+		t.Fatal("serial run produced no UPDATEs; test is vacuous")
+	}
+	for _, w := range workerCounts[1:] {
+		got, gotC := updateStream(t, dom, w, drive)
+		if !bytes.Equal(want, got) {
+			t.Errorf("workers=%d: UPDATE stream differs from serial (%d vs %d bytes)", w, len(want), len(got))
+		}
+		if gotC != wantC {
+			t.Errorf("workers=%d: counters differ: %+v vs %+v", w, gotC, wantC)
+		}
+	}
+}

@@ -13,13 +13,18 @@
 // Routers are single-owner: each is mutated from one goroutine at a time
 // (msgsim is single-threaded, each speaker owns its core under its own
 // lock). The shared Counters are atomic so a running network can be
-// observed concurrently.
+// observed concurrently. With SetWorkers(n>1), Refresh internally fans the
+// per-prefix recompute/diff phase over n goroutines, but the emitted
+// UPDATE stream stays byte-identical to serial: the parallel phase is
+// pure (per-prefix results land in per-prefix slots), and the send phase
+// merges them serially in sorted prefix order.
 package router
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/bgp"
 	"repro/internal/protocol"
@@ -33,15 +38,26 @@ import (
 // one topology.System per destination prefix, all sharing the identical
 // session graph (router names, sessions and link costs) and differing only
 // in their exit paths. Single-prefix deployments use prefix 0.
+//
+// Internally the systems live in a prefix-sorted slice with a dense
+// prefix→index table, not a map: a domain of R routers × P prefixes is hit
+// with an index lookup on every record of every UPDATE, and the slice form
+// is what lets Router keep its per-prefix RIBs flat.
 type Domain struct {
 	base     *topology.System
-	systems  map[uint32]*topology.System
-	prefixes []uint32 // sorted
+	systems  []*topology.System // index-aligned with prefixes
+	prefixes []uint32           // sorted ascending
+	dense    []int32            // prefix → index, when prefixes are dense
+	lookup   map[uint32]int     // fallback for sparse prefix spaces
 	policy   protocol.Policy
 	opts     selection.Options
 }
 
 // NewDomain validates the per-prefix systems and fixes the prefix order.
+// Systems built over the same session graph (the same *System for every
+// prefix, or topology.WithExits overlays of one base) are recognised in
+// O(1); independently built systems fall back to a full structural
+// comparison.
 func NewDomain(systems map[uint32]*topology.System, policy protocol.Policy, opts selection.Options) (*Domain, error) {
 	if len(systems) == 0 {
 		return nil, errors.New("router: no prefixes")
@@ -51,13 +67,41 @@ func NewDomain(systems map[uint32]*topology.System, policy protocol.Policy, opts
 		prefixes = append(prefixes, p)
 	}
 	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
-	base := systems[prefixes[0]]
-	for _, p := range prefixes[1:] {
-		if err := sameTopology(base, systems[p]); err != nil {
+	syss := make([]*topology.System, len(prefixes))
+	for i, p := range prefixes {
+		sys := systems[p]
+		if sys == nil {
+			return nil, fmt.Errorf("router: prefix %d: nil system", p)
+		}
+		syss[i] = sys
+	}
+	base := syss[0]
+	for i, p := range prefixes {
+		if i == 0 || syss[i].SharesGraph(base) {
+			continue
+		}
+		if err := sameTopology(base, syss[i]); err != nil {
 			return nil, fmt.Errorf("router: prefix %d: %w", p, err)
 		}
 	}
-	return &Domain{base: base, systems: systems, prefixes: prefixes, policy: policy, opts: opts}, nil
+	d := &Domain{base: base, systems: syss, prefixes: prefixes, policy: policy, opts: opts}
+	// Index: a dense table when the prefix space is compact (the common
+	// case — generated domains number prefixes 0..P-1), a map otherwise.
+	if maxP := int(prefixes[len(prefixes)-1]); maxP < 2*len(prefixes)+64 {
+		d.dense = make([]int32, maxP+1)
+		for i := range d.dense {
+			d.dense[i] = -1
+		}
+		for i, p := range prefixes {
+			d.dense[p] = int32(i)
+		}
+	} else {
+		d.lookup = make(map[uint32]int, len(prefixes))
+		for i, p := range prefixes {
+			d.lookup[p] = i
+		}
+	}
+	return d, nil
 }
 
 // Single wraps one system as a prefix-0 domain; a lone system is always
@@ -96,14 +140,39 @@ func sameTopology(a, b *topology.System) error {
 	return nil
 }
 
+// index returns the position of prefix in the sorted prefix slice, or -1
+// when the domain does not carry it.
+func (d *Domain) index(prefix uint32) int {
+	if d.dense != nil {
+		if int(prefix) >= len(d.dense) {
+			return -1
+		}
+		return int(d.dense[prefix])
+	}
+	if i, ok := d.lookup[prefix]; ok {
+		return i
+	}
+	return -1
+}
+
 // Base returns the session-graph system (the lowest prefix's).
 func (d *Domain) Base() *topology.System { return d.base }
 
-// Prefixes returns the carried prefixes, sorted ascending.
-func (d *Domain) Prefixes() []uint32 { return append([]uint32(nil), d.prefixes...) }
+// Prefixes returns the carried prefixes, sorted ascending. The slice is
+// the domain's own cached copy — shared, not re-allocated per call — so
+// callers must not mutate it.
+func (d *Domain) Prefixes() []uint32 { return d.prefixes }
+
+// NumPrefixes returns how many prefixes the domain carries.
+func (d *Domain) NumPrefixes() int { return len(d.prefixes) }
 
 // System returns the system for one prefix, or nil if not carried.
-func (d *Domain) System(prefix uint32) *topology.System { return d.systems[prefix] }
+func (d *Domain) System(prefix uint32) *topology.System {
+	if i := d.index(prefix); i >= 0 {
+		return d.systems[i]
+	}
+	return nil
+}
 
 // Multi reports whether the domain carries more than one prefix.
 func (d *Domain) Multi() bool { return len(d.prefixes) > 1 }
@@ -123,11 +192,29 @@ type Deferral struct {
 	ReadyAt int64
 }
 
+// diffSlot holds one (dirty prefix, peer) cell of a refresh round: the
+// announce/withdraw diff the parallel phase computed and the serial phase
+// either commits (ApplyDiff after a successful send) or leaves owed.
+type diffSlot struct {
+	ann, wd []bgp.PathID
+}
+
+// bestChange records one dirty prefix's decision-process outcome so the
+// serial phase can emit BestChanged events in ascending prefix order.
+type bestChange struct {
+	old, nw bgp.PathID
+	changed bool
+}
+
 // Router is the operational core of one I-BGP speaker.
 type Router struct {
 	dom  *Domain
 	id   bgp.NodeID
-	ribs map[uint32]*rib.RIB
+	ribs []*rib.RIB // index-aligned with dom.prefixes
+
+	// peering is the per-router peer table shared by all of this router's
+	// RIBs (the session graph is prefix-independent).
+	peering *rib.Peering
 
 	// MRAI state, in transport clock units: earliest next send per peer,
 	// and the peers with a reopen callback already requested.
@@ -146,43 +233,77 @@ type Router struct {
 	// rejects registrations after that point (set-once-before-start).
 	started bool
 
+	// dirty marks the prefixes whose RIB contents changed since they were
+	// last fully flushed; Refresh recomputes only those. The invariant that
+	// makes the skip observation-equivalent: a clean prefix owes no peer an
+	// UPDATE (every diff was empty or committed), and RecomputeBest is a
+	// pure function of RIB contents, so re-running it on a clean prefix
+	// could emit nothing.
+	dirty    []bool
+	dirtyIdx []int // reusable: this round's dirty prefix indices, ascending
+
+	// workers is the fan-out of the per-prefix recompute/diff phase;
+	// scratches holds one decision-process scratch per worker, shared by
+	// the RIBs of that worker's shard. maxExits sizes new scratches.
+	workers   int
+	scratches []*rib.Scratch
+	maxExits  int
+
+	// Per-round reusable storage: slot(di, pj) = slots[di*numPeers+pj],
+	// the per-(dirty prefix, peer) diffs of the parallel phase; changed
+	// mirrors dirtyIdx; uncommitted marks peers whose owed diff was
+	// MRAI-gated or whose send failed (those prefixes stay dirty).
+	slots       []diffSlot
+	changed     []bestChange
+	uncommitted []bool
+
 	// Refresh/apply scratch, reused across rounds: the outbound coalesced
 	// UPDATE handed to the transport and the event sink (both must consume
-	// it before the call returns), the received-update materialisation for
-	// UpdateReceived events on the view path, the per-prefix last-sent
-	// snapshots for send-failure rollback, and the per-prefix diff buffers.
-	// Single-owner like the Router itself.
-	txUpd    wire.Update
-	rxUpd    wire.Update
-	prevSent []bgp.PathSet
-	annBuf   []bgp.PathID
-	wdBuf    []bgp.PathID
+	// it before the call returns) and the received-update materialisation
+	// for UpdateReceived events on the view path. Single-owner like the
+	// Router itself.
+	txUpd wire.Update
+	rxUpd wire.Update
 }
 
 // NewRouter builds the core for node id, accumulating into counters
 // (shared across the substrate's routers; must be non-nil).
 func (d *Domain) NewRouter(id bgp.NodeID, counters *Counters) *Router {
+	np := len(d.prefixes)
 	r := &Router{
 		dom:      d,
 		id:       id,
-		ribs:     map[uint32]*rib.RIB{},
+		ribs:     make([]*rib.RIB, np),
+		peering:  rib.NewPeering(d.base, id),
 		nextSend: map[bgp.NodeID]int64{},
 		pending:  map[bgp.NodeID]bool{},
 		down:     map[bgp.NodeID]bool{},
 		counters: counters,
+		workers:  1,
 	}
 	maxExits := 0
-	for _, p := range d.prefixes {
-		r.ribs[p] = rib.New(d.systems[p], d.policy, d.opts, id)
-		if n := d.systems[p].NumExits(); n > maxExits {
+	for i := range d.prefixes {
+		if n := d.systems[i].NumExits(); n > maxExits {
 			maxExits = n
 		}
 	}
+	r.maxExits = maxExits
+	r.scratches = []*rib.Scratch{rib.NewScratch(maxExits)}
+	for i := range d.prefixes {
+		r.ribs[i] = rib.NewShared(d.systems[i], d.policy, d.opts, id, r.peering, r.scratches[0])
+	}
+	// Everything starts dirty: the first refresh after construction must
+	// look at every prefix (an empty RIB flushes to nothing, so this only
+	// costs one pass).
+	r.dirty = make([]bool, np)
+	for i := range r.dirty {
+		r.dirty[i] = true
+	}
+	r.dirtyIdx = make([]int, 0, np)
+	r.changed = make([]bestChange, 0, np)
+	r.uncommitted = make([]bool, len(r.peering.Peers()))
 	// Pre-size the flush scratch to the topology's bounds so fresh routers
 	// don't pay append-growth allocations on their first refreshes.
-	r.prevSent = make([]bgp.PathSet, len(d.prefixes))
-	r.annBuf = make([]bgp.PathID, 0, maxExits)
-	r.wdBuf = make([]bgp.PathID, 0, maxExits)
 	r.txUpd.Withdrawn = make([]wire.WithdrawnRoute, 0, maxExits)
 	r.txUpd.Announced = make([]wire.RouteRecord, 0, maxExits)
 	return r
@@ -226,26 +347,56 @@ func (r *Router) SetMRAI(d int64) {
 // MRAI returns the configured interval.
 func (r *Router) MRAI() int64 { return r.mrai }
 
+// SetWorkers sets how many goroutines Refresh fans the per-prefix
+// recompute/diff phase over (values below 2, or rounds with fewer dirty
+// prefixes than workers, run serially with zero goroutines). The emitted
+// UPDATE stream is byte-identical for every value: the parallel phase is
+// pure and lands per-prefix results in per-prefix slots, and the send
+// phase merges them serially in sorted prefix order. Configure before the
+// substrate starts, like SetMRAI.
+func (r *Router) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.workers = n
+	for len(r.scratches) < n {
+		r.scratches = append(r.scratches, rib.NewScratch(r.maxExits))
+	}
+}
+
+// Workers returns the configured refresh fan-out.
+func (r *Router) Workers() int { return r.workers }
+
+// markAllDirty schedules every prefix for the next refresh (peer
+// transitions invalidate per-peer advertisement memory across the board).
+func (r *Router) markAllDirty() {
+	for i := range r.dirty {
+		r.dirty[i] = true
+	}
+}
+
 // Inject records an E-BGP injection of one prefix's path at this router.
 func (r *Router) Inject(now int64, prefix uint32, id bgp.PathID) {
 	r.started = true
-	rb, ok := r.ribs[prefix]
-	if !ok {
+	i := r.dom.index(prefix)
+	if i < 0 {
 		return
 	}
 	r.emit(Event{Kind: Injected, Time: now, Node: r.id, Prefix: prefix, Path: id})
-	rb.Inject(id)
+	r.ribs[i].Inject(id)
+	r.dirty[i] = true
 }
 
 // WithdrawExternal records an E-BGP withdrawal of one prefix's path.
 func (r *Router) WithdrawExternal(now int64, prefix uint32, id bgp.PathID) {
 	r.started = true
-	rb, ok := r.ribs[prefix]
-	if !ok {
+	i := r.dom.index(prefix)
+	if i < 0 {
 		return
 	}
 	r.emit(Event{Kind: Withdrawn, Time: now, Node: r.id, Prefix: prefix, Path: id})
-	rb.WithdrawExternal(id)
+	r.ribs[i].WithdrawExternal(id)
+	r.dirty[i] = true
 }
 
 // ApplyUpdate merges one received UPDATE into the per-prefix RIBs after
@@ -264,13 +415,15 @@ func (r *Router) ApplyUpdate(now int64, from bgp.NodeID, upd *wire.Update) error
 		return err
 	}
 	for _, rec := range upd.Announced {
-		if rb, ok := r.ribs[rec.Prefix]; ok {
-			rb.Learn(from, bgp.PathID(rec.PathID))
+		if i := r.dom.index(rec.Prefix); i >= 0 {
+			r.ribs[i].Learn(from, bgp.PathID(rec.PathID))
+			r.dirty[i] = true
 		}
 	}
 	for _, w := range upd.Withdrawn {
-		if rb, ok := r.ribs[w.Prefix]; ok {
-			rb.Unlearn(from, bgp.PathID(w.PathID))
+		if i := r.dom.index(w.Prefix); i >= 0 {
+			r.ribs[i].Unlearn(from, bgp.PathID(w.PathID))
+			r.dirty[i] = true
 		}
 	}
 	r.counters.Received.Add(1)
@@ -297,14 +450,16 @@ func (r *Router) ApplyUpdateView(now int64, from bgp.NodeID, v wire.UpdateView) 
 	}
 	for i, n := 0, v.NumAnnounced(); i < n; i++ {
 		rec := v.AnnouncedAt(i)
-		if rb, ok := r.ribs[rec.Prefix]; ok {
-			rb.Learn(from, bgp.PathID(rec.PathID))
+		if pi := r.dom.index(rec.Prefix); pi >= 0 {
+			r.ribs[pi].Learn(from, bgp.PathID(rec.PathID))
+			r.dirty[pi] = true
 		}
 	}
 	for i, n := 0, v.NumWithdrawn(); i < n; i++ {
 		wd := v.WithdrawnAt(i)
-		if rb, ok := r.ribs[wd.Prefix]; ok {
-			rb.Unlearn(from, bgp.PathID(wd.PathID))
+		if pi := r.dom.index(wd.Prefix); pi >= 0 {
+			r.ribs[pi].Unlearn(from, bgp.PathID(wd.PathID))
+			r.dirty[pi] = true
 		}
 	}
 	r.counters.Received.Add(1)
@@ -317,36 +472,199 @@ func (r *Router) ApplyUpdateView(now int64, from bgp.NodeID, v wire.UpdateView) 
 
 // bounds adapts the domain's per-prefix systems for wire validation.
 func (r *Router) bounds(prefix uint32) wire.System {
-	if sys, ok := r.dom.systems[prefix]; ok {
-		return sys
+	if i := r.dom.index(prefix); i >= 0 {
+		return r.dom.systems[i]
 	}
 	return nil
 }
 
-// Refresh re-runs the decision process on every prefix and pushes the owed
-// UPDATEs — one coalesced wire message per peer — through send, subject to
-// per-session MRAI gating. It returns the newly created deferrals the
-// transport must schedule.
+// Refresh re-runs the decision process on every dirty prefix and pushes
+// the owed UPDATEs — one coalesced wire message per peer — through send,
+// subject to per-session MRAI gating. It returns the newly created
+// deferrals the transport must schedule.
+//
+// The work splits into a pure parallel phase and a serial merge. Phase A
+// fans the dirty prefixes over the worker pool: each worker recomputes
+// best routes, prepares the flush, and writes per-(prefix, peer)
+// announce/withdraw diffs into its shard's slots — no events, no
+// counters, no sends. Phase B then walks peers in session order, merging
+// each peer's slots in ascending prefix order into one coalesced UPDATE
+// and committing the diff only after the transport accepted it. Because
+// the slots are keyed by (prefix, peer) and the merge order is fixed, the
+// byte stream is identical for every worker count.
 func (r *Router) Refresh(now int64, send SendFunc) []Deferral {
 	r.started = true
-	for _, prefix := range r.dom.prefixes {
-		rb := r.ribs[prefix]
-		old := rb.Best()
-		if rb.RecomputeBest() {
-			r.counters.Flaps.Add(1)
-			r.emit(Event{Kind: BestChanged, Time: now, Node: r.id, Prefix: prefix,
-				OldBest: old, NewBest: rb.Best()})
+	r.dirtyIdx = r.dirtyIdx[:0]
+	for i := range r.dirty {
+		if r.dirty[i] {
+			r.dirtyIdx = append(r.dirtyIdx, i)
 		}
-		// Prepare the peer-independent advertise state once per prefix;
-		// the per-peer fan-out below reads it without re-running the
-		// decision process or allocating.
-		rb.PrepareFlush()
+	}
+	nd := len(r.dirtyIdx)
+	if nd == 0 {
+		return nil
+	}
+	peers := r.peering.Peers()
+	np := len(peers)
+	for len(r.slots) < nd*np {
+		r.slots = append(r.slots, diffSlot{})
+	}
+	for len(r.changed) < nd {
+		r.changed = append(r.changed, bestChange{})
+	}
+
+	// Phase A: pure per-prefix computation.
+	workers := r.workers
+	if workers > nd {
+		workers = nd
+	}
+	if workers <= 1 {
+		r.computeShard(0, 0, nd)
+	} else {
+		// The IGP all-pairs cache memoizes shortest-path trees lazily;
+		// every worker queries the same root (this router), so compute its
+		// tree once before fanning out. Overlay systems share the base's
+		// cache, which is why warming the base suffices.
+		r.dom.base.Paths().From(r.id)
+		var wg sync.WaitGroup
+		chunk := (nd + workers - 1) / workers
+		for wk := 0; wk < workers; wk++ {
+			lo := wk * chunk
+			hi := lo + chunk
+			if hi > nd {
+				hi = nd
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(wk, lo, hi int) {
+				defer wg.Done()
+				r.computeShard(wk, lo, hi)
+			}(wk, lo, hi)
+		}
+		wg.Wait()
+	}
+
+	// Phase B: serial merge. Best-route events first, in ascending prefix
+	// order (the order the serial recompute loop used to emit them in).
+	for di := 0; di < nd; di++ {
+		if c := r.changed[di]; c.changed {
+			r.counters.Flaps.Add(1)
+			r.emit(Event{Kind: BestChanged, Time: now, Node: r.id,
+				Prefix: r.dom.prefixes[r.dirtyIdx[di]], OldBest: c.old, NewBest: c.nw})
+		}
 	}
 	var defs []Deferral
-	for _, w := range r.dom.base.Peers(r.id) {
-		defs = r.flushPeer(now, w, send, defs)
+	for pj, w := range peers {
+		r.uncommitted[pj] = false
+		if r.down[w] {
+			continue
+		}
+		owed := false
+		for di := 0; di < nd; di++ {
+			if s := &r.slots[di*np+pj]; len(s.ann) > 0 || len(s.wd) > 0 {
+				owed = true
+				break
+			}
+		}
+		if !owed {
+			continue
+		}
+		if r.mrai > 0 && now < r.nextSend[w] {
+			r.uncommitted[pj] = true
+			if !r.pending[w] {
+				r.pending[w] = true
+				r.counters.Deferrals.Add(1)
+				r.emit(Event{Kind: MRAIDeferred, Time: now, Node: r.id, Peer: w, ReadyAt: r.nextSend[w]})
+				defs = append(defs, Deferral{To: w, ReadyAt: r.nextSend[w]})
+			}
+			continue
+		}
+		upd := &r.txUpd
+		upd.Withdrawn = upd.Withdrawn[:0]
+		upd.Announced = upd.Announced[:0]
+		for di := 0; di < nd; di++ {
+			pi := r.dirtyIdx[di]
+			prefix := r.dom.prefixes[pi]
+			s := &r.slots[di*np+pj]
+			for _, id := range s.wd {
+				upd.Withdrawn = append(upd.Withdrawn, wire.WithdrawnRoute{Prefix: prefix, PathID: uint32(id)})
+			}
+			for _, id := range s.ann {
+				rec := wire.FromExitPath(r.dom.systems[pi].Exit(id))
+				rec.Prefix = prefix
+				upd.Announced = append(upd.Announced, rec)
+			}
+		}
+		r.nextSend[w] = now + r.mrai
+		// Sent is incremented before the transport writes so a concurrent
+		// quiescence probe never sees the receipt before the send. A refused
+		// send stays in Sent and is additionally counted in Dropped: the
+		// quiescence ledger is Sent == Received + Rejected + Dropped, so a
+		// probe between the two increments reads the conservative
+		// (non-quiescent) side.
+		r.counters.Sent.Add(1)
+		arriveAt, err := send(w, upd)
+		if err != nil {
+			// The message is lost, so nothing is committed: the diff stays
+			// owed (the prefix stays dirty) and a later refresh re-sends it
+			// — the same repair TCP retransmission gives a real speaker.
+			// Without it one lost UPDATE would leave the peer stale forever.
+			r.uncommitted[pj] = true
+			r.counters.Dropped.Add(1)
+			continue
+		}
+		for di := 0; di < nd; di++ {
+			if s := &r.slots[di*np+pj]; len(s.ann) > 0 || len(s.wd) > 0 {
+				r.ribs[r.dirtyIdx[di]].ApplyDiff(w, s.ann, s.wd)
+			}
+		}
+		r.emit(Event{Kind: UpdateSent, Time: now, Node: r.id, Peer: w, Update: upd, ArriveAt: arriveAt})
+	}
+	// A prefix goes clean only when every up peer's diff was empty or
+	// committed; an MRAI-gated or send-failed diff keeps it dirty so the
+	// reopen/retry refresh recomputes it.
+	for di := 0; di < nd; di++ {
+		still := false
+		base := di * np
+		for pj := range peers {
+			if s := &r.slots[base+pj]; (len(s.ann) > 0 || len(s.wd) > 0) && r.uncommitted[pj] {
+				still = true
+				break
+			}
+		}
+		r.dirty[r.dirtyIdx[di]] = still
 	}
 	return defs
+}
+
+// computeShard runs phase A for dirtyIdx[lo:hi] with worker wk's scratch:
+// recompute best, prepare the flush, and fill the per-peer diff slots. It
+// touches no counters, emits no events and sends nothing, so shards are
+// free of cross-worker effects; down-peer slots stay empty (what a dead
+// session is owed is recomputed from scratch at PeerUp).
+func (r *Router) computeShard(wk, lo, hi int) {
+	scr := r.scratches[wk]
+	peers := r.peering.Peers()
+	np := len(peers)
+	for di := lo; di < hi; di++ {
+		rb := r.ribs[r.dirtyIdx[di]]
+		rb.SetScratch(scr)
+		old := rb.Best()
+		ch := rb.RecomputeBest()
+		r.changed[di] = bestChange{old: old, nw: rb.Best(), changed: ch}
+		rb.PrepareFlush()
+		base := di * np
+		for pj, w := range peers {
+			s := &r.slots[base+pj]
+			s.ann, s.wd = s.ann[:0], s.wd[:0]
+			if r.down[w] {
+				continue
+			}
+			s.ann, s.wd = rb.DiffInto(w, s.ann, s.wd)
+		}
+	}
 }
 
 // Reopen marks peer w's scheduled MRAI flush as delivered; the transport
@@ -370,11 +688,12 @@ func (r *Router) PeerDown(now int64, w bgp.NodeID) int {
 	}
 	r.down[w] = true
 	flushed := 0
-	for _, prefix := range r.dom.prefixes {
-		flushed += r.ribs[prefix].PeerDown(w)
+	for i := range r.ribs {
+		flushed += r.ribs[i].PeerDown(w)
 	}
 	delete(r.nextSend, w)
 	r.pending[w] = false
+	r.markAllDirty()
 	r.counters.Flushed.Add(int64(flushed))
 	r.emit(Event{Kind: PeerDown, Time: now, Node: r.id, Peer: w, Flushed: flushed})
 	return flushed
@@ -390,99 +709,25 @@ func (r *Router) PeerUp(now int64, w bgp.NodeID) {
 		return
 	}
 	delete(r.down, w)
+	r.markAllDirty()
 	r.emit(Event{Kind: PeerUp, Time: now, Node: r.id, Peer: w})
 }
 
 // PeerIsDown reports whether the session to w is currently dead.
 func (r *Router) PeerIsDown(w bgp.NodeID) bool { return r.down[w] }
 
-// flushPeer sends the UPDATE owed to one peer if the session's MRAI window
-// is open; otherwise it records (once) that the transport must call back
-// when the window reopens. A failed send is counted as dropped and does
-// not stop the fan-out to later peers. Down peers are skipped entirely —
-// what they are owed is recomputed from scratch at PeerUp.
-func (r *Router) flushPeer(now int64, w bgp.NodeID, send SendFunc, defs []Deferral) []Deferral {
-	if r.down[w] {
-		return defs
-	}
-	owed := false
-	for _, prefix := range r.dom.prefixes {
-		if r.ribs[prefix].OwedTo(w) {
-			owed = true
-			break
-		}
-	}
-	if !owed {
-		return defs
-	}
-	if r.mrai > 0 && now < r.nextSend[w] {
-		if !r.pending[w] {
-			r.pending[w] = true
-			r.counters.Deferrals.Add(1)
-			r.emit(Event{Kind: MRAIDeferred, Time: now, Node: r.id, Peer: w, ReadyAt: r.nextSend[w]})
-			defs = append(defs, Deferral{To: w, ReadyAt: r.nextSend[w]})
-		}
-		return defs
-	}
-	upd := &r.txUpd
-	upd.Withdrawn = upd.Withdrawn[:0]
-	upd.Announced = upd.Announced[:0]
-	for len(r.prevSent) < len(r.dom.prefixes) {
-		r.prevSent = append(r.prevSent, bgp.PathSet{})
-	}
-	for i, prefix := range r.dom.prefixes {
-		rb := r.ribs[prefix]
-		rb.CopyLastSent(w, &r.prevSent[i])
-		ann, wd := rb.CommitFlushAppend(w, r.annBuf[:0], r.wdBuf[:0])
-		for _, id := range wd {
-			upd.Withdrawn = append(upd.Withdrawn, wire.WithdrawnRoute{Prefix: prefix, PathID: uint32(id)})
-		}
-		for _, id := range ann {
-			rec := wire.FromExitPath(r.dom.systems[prefix].Exit(id))
-			rec.Prefix = prefix
-			upd.Announced = append(upd.Announced, rec)
-		}
-		r.annBuf, r.wdBuf = ann[:0], wd[:0]
-	}
-	if len(upd.Announced) == 0 && len(upd.Withdrawn) == 0 {
-		return defs
-	}
-	r.nextSend[w] = now + r.mrai
-	// Sent is incremented before the transport writes so a concurrent
-	// quiescence probe never sees the receipt before the send. A refused
-	// send stays in Sent and is additionally counted in Dropped: the
-	// quiescence ledger is Sent == Received + Rejected + Dropped, so a
-	// probe between the two increments reads the conservative
-	// (non-quiescent) side.
-	r.counters.Sent.Add(1)
-	arriveAt, err := send(w, upd)
-	if err != nil {
-		// The message is lost, so the advertisement memory must rewind:
-		// the diff stays owed and a later refresh re-sends it — the same
-		// repair TCP retransmission gives a real speaker. Without the
-		// rewind one lost UPDATE would leave the peer stale forever.
-		for i, prefix := range r.dom.prefixes {
-			r.ribs[prefix].RestoreLastSent(w, r.prevSent[i])
-		}
-		r.counters.Dropped.Add(1)
-		return defs
-	}
-	r.emit(Event{Kind: UpdateSent, Time: now, Node: r.id, Peer: w, Update: upd, ArriveAt: arriveAt})
-	return defs
-}
-
 // Best returns the current best path for one prefix, or bgp.None.
 func (r *Router) Best(prefix uint32) bgp.PathID {
-	if rb, ok := r.ribs[prefix]; ok {
-		return rb.Best()
+	if i := r.dom.index(prefix); i >= 0 {
+		return r.ribs[i].Best()
 	}
 	return bgp.None
 }
 
 // Possible returns the current candidate set for one prefix.
 func (r *Router) Possible(prefix uint32) bgp.PathSet {
-	if rb, ok := r.ribs[prefix]; ok {
-		return rb.Possible()
+	if i := r.dom.index(prefix); i >= 0 {
+		return r.ribs[i].Possible()
 	}
 	return bgp.PathSet{}
 }
@@ -490,8 +735,8 @@ func (r *Router) Possible(prefix uint32) bgp.PathSet {
 // Upgraded reports whether this router switched to survivor advertisement
 // for one prefix under the Adaptive policy.
 func (r *Router) Upgraded(prefix uint32) bool {
-	if rb, ok := r.ribs[prefix]; ok {
-		return rb.Upgraded()
+	if i := r.dom.index(prefix); i >= 0 {
+		return r.ribs[i].Upgraded()
 	}
 	return false
 }

@@ -9,14 +9,16 @@ import (
 )
 
 // FuzzGenerate drives the generator over arbitrary parameter corners:
-// every accepted spec must build, its JSON must round-trip through the
-// loader byte-identically, and linting the round-tripped spec must
-// neither panic nor change the verdict.
+// every accepted spec must build — including its per-prefix exit
+// overlays, which must all share the base session graph with the full
+// exit count — its JSON must round-trip through the loader
+// byte-identically, and linting the round-tripped spec must neither
+// panic nor change the verdict.
 func FuzzGenerate(f *testing.F) {
-	f.Add(uint8(1), uint8(1), uint8(3), uint8(1), uint8(1), uint8(2), uint8(4), uint8(2), int64(0))
-	f.Add(uint8(2), uint8(2), uint8(4), uint8(2), uint8(3), uint8(3), uint8(6), uint8(4), int64(7))
-	f.Add(uint8(3), uint8(1), uint8(5), uint8(1), uint8(0), uint8(1), uint8(2), uint8(0), int64(42))
-	f.Fuzz(func(t *testing.T, regions, rrs, pops, poprrs, clients, ases, exits, maxMED uint8, seed int64) {
+	f.Add(uint8(1), uint8(1), uint8(3), uint8(1), uint8(1), uint8(2), uint8(4), uint8(2), uint8(0), int64(0))
+	f.Add(uint8(2), uint8(2), uint8(4), uint8(2), uint8(3), uint8(3), uint8(6), uint8(4), uint8(3), int64(7))
+	f.Add(uint8(3), uint8(1), uint8(5), uint8(1), uint8(0), uint8(1), uint8(2), uint8(0), uint8(5), int64(42))
+	f.Fuzz(func(t *testing.T, regions, rrs, pops, poprrs, clients, ases, exits, maxMED, prefixes uint8, seed int64) {
 		spec := Spec{
 			Regions:       1 + int(regions%3),
 			RRsPerRegion:  1 + int(rrs%3),
@@ -25,6 +27,7 @@ func FuzzGenerate(f *testing.F) {
 			ClientsPerPoP: int(clients % 4),
 			ASes:          1 + int(ases%3),
 			Exits:         1 + int(exits%8),
+			Prefixes:      int(prefixes % 6),
 			MaxMED:        int(maxMED % 5),
 			CoreCost:      50,
 			AccessCost:    8,
@@ -48,8 +51,24 @@ func FuzzGenerate(f *testing.F) {
 		if !bytes.Equal(js, js2) {
 			t.Fatal("JSON round-trip is not byte-identical")
 		}
-		if _, err := topology.BuildSpec(parsed); err != nil {
+		systems, err := topology.BuildSpecAll(parsed)
+		if err != nil {
 			t.Fatalf("round-tripped spec does not build: %v", err)
+		}
+		wantSystems := spec.Prefixes
+		if wantSystems < 1 {
+			wantSystems = 1
+		}
+		if len(systems) != wantSystems {
+			t.Fatalf("BuildSpecAll built %d systems, spec.Prefixes = %d", len(systems), spec.Prefixes)
+		}
+		for p, sys := range systems {
+			if !systems[0].SharesGraph(sys) {
+				t.Fatalf("prefix %d does not share the base session graph", p)
+			}
+			if sys.NumExits() != spec.Exits {
+				t.Fatalf("prefix %d has %d exits, want %d", p, sys.NumExits(), spec.Exits)
+			}
 		}
 		direct := lint.LintSpec("direct", gen)
 		round := lint.LintSpec("round", parsed)

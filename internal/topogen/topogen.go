@@ -46,6 +46,13 @@ type Spec struct {
 	// Exits is the total number of E-BGP exit points, spread round-robin
 	// over PoPs and neighbouring ASes.
 	Exits int
+	// Prefixes is the number of destination prefixes the generated domain
+	// carries (0 and 1 both mean single-prefix, leaving the emitted JSON
+	// byte-identical to older specs). Each additional prefix gets its own
+	// Exits-sized exit set — rotated placement, independent MED and exit
+	// cost draws — layered over the same session graph via the spec's
+	// PrefixExits field.
+	Prefixes int
 	// MaxMED bounds the announced MED values (drawn from [0, MaxMED]).
 	MaxMED int
 	// CoreCost scales backbone IGP costs (inter-region and PoP uplinks,
@@ -116,6 +123,8 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("topogen: Exits = %d, need at least one exit path", s.Exits)
 	case s.MaxMED < 0:
 		return fmt.Errorf("topogen: MaxMED = %d", s.MaxMED)
+	case s.Prefixes < 0:
+		return fmt.Errorf("topogen: Prefixes = %d", s.Prefixes)
 	case s.CoreCost < 1 || s.AccessCost < 1:
 		return fmt.Errorf("topogen: costs must be positive (core %d, access %d)", s.CoreCost, s.AccessCost)
 	}
@@ -134,6 +143,9 @@ func Generate(s Spec, seed int64) (*topology.Spec, error) {
 		Comment: fmt.Sprintf(
 			"topogen seed=%d regions=%d rrs=%d pops=%d poprrs=%d clients=%d ases=%d exits=%d maxmed=%d",
 			seed, s.Regions, s.RRsPerRegion, s.PoPs, s.RRsPerPoP, s.ClientsPerPoP, s.ASes, s.Exits, s.MaxMED),
+	}
+	if s.Prefixes > 1 {
+		out.Comment += fmt.Sprintf(" prefixes=%d", s.Prefixes)
 	}
 	core := func(r, i int) string { return fmt.Sprintf("core%d-%d", r, i) }
 	rr := func(p, i int) string { return fmt.Sprintf("rr%02d-%d", p, i) }
@@ -230,6 +242,32 @@ func Generate(s Spec, seed int64) (*topology.Spec, error) {
 			MED:      rng.Intn(s.MaxMED + 1),
 			ExitCost: accessCost(),
 		})
+	}
+
+	// Additional prefixes: same exit count, placement rotated by the
+	// prefix index, fresh MED/cost draws. The draws come strictly after
+	// every single-prefix draw above, so Prefixes <= 1 output — and the
+	// base topology and prefix-0 exits of any Prefixes value — are
+	// byte-identical to what older specs generated.
+	for pre := 1; pre < s.Prefixes; pre++ {
+		exits := make([]topology.ExitJSON, 0, s.Exits)
+		for x := 0; x < s.Exits; x++ {
+			xx := x + pre
+			p := xx % s.PoPs
+			var at string
+			if s.ClientsPerPoP > 0 {
+				at = ac(p, (xx/s.PoPs)%s.ClientsPerPoP)
+			} else {
+				at = rr(p, (xx/s.PoPs)%s.RRsPerPoP)
+			}
+			exits = append(exits, topology.ExitJSON{
+				At:       at,
+				NextAS:   bgp.ASN(1000 + xx%s.ASes),
+				MED:      rng.Intn(s.MaxMED + 1),
+				ExitCost: accessCost(),
+			})
+		}
+		out.PrefixExits = append(out.PrefixExits, exits)
 	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package topogen
 
 import (
 	"bytes"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -80,6 +81,71 @@ func TestGenerateDeterministic(t *testing.T) {
 			if !bytes.Equal(want[seed], got[seed]) {
 				t.Fatalf("workers=%d seed %d: JSON differs from serial generation", workers, seed)
 			}
+		}
+	}
+}
+
+// TestGeneratePrefixes pins the multi-prefix contract: Prefixes 0 and 1
+// emit byte-identical JSON (no prefixExits key, so older files and their
+// hashes are untouched), a multi-prefix spec leaves the base topology and
+// prefix-0 exits byte-for-byte unchanged and only appends overlays, and
+// repeated generation is deterministic.
+func TestGeneratePrefixes(t *testing.T) {
+	spec := Small()
+	gen := func(prefixes int, seed int64) []byte {
+		s := spec
+		s.Prefixes = prefixes
+		g, err := Generate(s, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := JSON(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js
+	}
+	if !bytes.Equal(gen(0, 1), gen(1, 1)) {
+		t.Fatal("Prefixes=0 and Prefixes=1 JSON differ")
+	}
+	if !bytes.Equal(gen(4, 1), gen(4, 1)) {
+		t.Fatal("repeated multi-prefix generation is not byte-identical")
+	}
+
+	s4 := spec
+	s4.Prefixes = 4
+	g0, err := Generate(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g4, err := Generate(s4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g0.Clusters, g4.Clusters) || !reflect.DeepEqual(g0.Links, g4.Links) {
+		t.Fatal("multi-prefix generation changed the base topology")
+	}
+	if !reflect.DeepEqual(g0.Exits, g4.Exits) {
+		t.Fatal("multi-prefix generation changed the prefix-0 exit draws")
+	}
+	if len(g4.PrefixExits) != 3 {
+		t.Fatalf("got %d overlay exit sets, want 3", len(g4.PrefixExits))
+	}
+	for p, exits := range g4.PrefixExits {
+		if len(exits) != spec.Exits {
+			t.Fatalf("prefix %d has %d exits, want %d", p+1, len(exits), spec.Exits)
+		}
+	}
+	systems, err := topology.BuildSpecAll(g4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(systems) != 4 {
+		t.Fatalf("BuildSpecAll built %d systems, want 4", len(systems))
+	}
+	for p, sys := range systems[1:] {
+		if !systems[0].SharesGraph(sys) {
+			t.Fatalf("prefix %d does not share the base graph", p+1)
 		}
 	}
 }

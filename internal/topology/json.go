@@ -20,8 +20,14 @@ type Spec struct {
 	Links []LinkSpec `json:"links"`
 	// ClientSessions lists optional same-cluster client-client sessions.
 	ClientSessions []SessionSpec `json:"clientSessions,omitempty"`
-	// Exits lists the injected exit paths.
+	// Exits lists the injected exit paths (prefix 0 in a multi-prefix
+	// domain).
 	Exits []ExitJSON `json:"exits"`
+	// PrefixExits optionally lists exit sets for additional prefixes:
+	// PrefixExits[i] is the exit list of prefix i+1, layered over the same
+	// session graph (BuildSpecAll). Absent for single-prefix specs, so
+	// existing files round-trip byte-identically.
+	PrefixExits [][]ExitJSON `json:"prefixExits,omitempty"`
 	// BGPIDs optionally overrides per-node BGP identifiers.
 	BGPIDs map[string]int `json:"bgpIds,omitempty"`
 }
@@ -141,6 +147,43 @@ func BuildSpec(spec *Spec) (*System, error) {
 		b.SetBGPID(n, spec.BGPIDs[name])
 	}
 	return b.Build()
+}
+
+// BuildSpecAll converts a Spec into the per-prefix systems of a
+// multi-prefix domain: index 0 is the base System built from Exits, and
+// each PrefixExits entry becomes a WithExits overlay sharing the base's
+// session graph. Single-prefix specs return a one-element slice.
+func BuildSpecAll(spec *Spec) ([]*System, error) {
+	base, err := BuildSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*System, 1, 1+len(spec.PrefixExits))
+	out[0] = base
+	for pi, exits := range spec.PrefixExits {
+		pes := make([]PrefixExit, len(exits))
+		for i, e := range exits {
+			at, ok := base.NodeByName(e.At)
+			if !ok {
+				return nil, fmt.Errorf("topology: prefix %d: unknown node name %q", pi+1, e.At)
+			}
+			pes[i] = PrefixExit{At: at, Spec: ExitSpec{
+				LocalPref: e.LocalPref,
+				ASPathLen: e.ASPathLen,
+				NextAS:    e.NextAS,
+				MED:       e.MED,
+				ExitCost:  e.ExitCost,
+				NextHopID: e.NextHopID,
+				TieBreak:  e.TieBreak,
+			}}
+		}
+		ov, err := base.WithExits(pes)
+		if err != nil {
+			return nil, fmt.Errorf("topology: prefix %d: %w", pi+1, err)
+		}
+		out = append(out, ov)
+	}
+	return out, nil
 }
 
 // ParseSpec decodes a JSON Spec without validating or building it. Unknown

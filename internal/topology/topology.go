@@ -549,6 +549,80 @@ func (b *Builder) Build() (*System, error) {
 	return sys, nil
 }
 
+// PrefixExit pairs an exit point with its attributes, for WithExits. It is
+// ExitSpec plus the node the path is injected at (Builder.Exit's receiver
+// argument, made explicit so overlay exit sets can be described as data).
+type PrefixExit struct {
+	At   bgp.NodeID
+	Spec ExitSpec
+}
+
+// WithExits returns an overlay System: the same routers, sessions, cluster
+// structure, physical graph and shortest paths as s — shared by reference,
+// not copied — carrying a different exit-path set. This is how a
+// multi-prefix domain represents P prefixes over one session graph without
+// duplicating the O(n²) topological tables P times.
+//
+// Specs are normalized exactly like Builder.Exit (PathID = index, zero
+// NextHopID defaults to 2000+id, zero TieBreak means "announcing peer's
+// BGP id", non-positive ASPathLen becomes 1) and validated like Build
+// (negative LocalPref/MED/ExitCost rejected).
+func (s *System) WithExits(exits []PrefixExit) (*System, error) {
+	n := s.N()
+	out := *s // shallow copy: every topological table stays shared
+	out.exits = make([]bgp.ExitPath, 0, len(exits))
+	out.exitsAt = make([][]bgp.PathID, n)
+	for i, e := range exits {
+		if int(e.At) < 0 || int(e.At) >= n {
+			return nil, fmt.Errorf("topology: WithExits: exit %d at unknown node %d", i, e.At)
+		}
+		if e.Spec.LocalPref < 0 || e.Spec.MED < 0 || e.Spec.ExitCost < 0 {
+			return nil, fmt.Errorf("topology: exit path %d has negative attribute", i)
+		}
+		id := bgp.PathID(i)
+		nh := e.Spec.NextHopID
+		if nh == 0 {
+			nh = 2000 + int(id)
+		}
+		tb := e.Spec.TieBreak
+		if tb == 0 {
+			tb = -1
+		}
+		al := e.Spec.ASPathLen
+		if al <= 0 {
+			al = 1
+		}
+		out.exits = append(out.exits, bgp.ExitPath{
+			ID:        id,
+			LocalPref: e.Spec.LocalPref,
+			ASPathLen: al,
+			NextAS:    e.Spec.NextAS,
+			MED:       e.Spec.MED,
+			ExitPoint: e.At,
+			ExitCost:  e.Spec.ExitCost,
+			NextHopID: nh,
+			TieBreak:  tb,
+		})
+		out.exitsAt[e.At] = append(out.exitsAt[e.At], id)
+	}
+	return &out, nil
+}
+
+// SharesGraph reports whether o rides on the same underlying session graph
+// as s: the same System, or a WithExits overlay of it (directly or through
+// a common ancestor). The test is identity of the shared tables, so it is
+// O(1) — independently-built but structurally equal systems report false
+// and must be compared field by field.
+func (s *System) SharesGraph(o *System) bool {
+	if s == o {
+		return true
+	}
+	if s == nil || o == nil || len(s.names) == 0 || len(o.names) == 0 {
+		return false
+	}
+	return &s.names[0] == &o.names[0] && len(s.names) == len(o.names)
+}
+
 // FullMesh is a convenience constructor for fully-meshed I-BGP: n routers,
 // each its own single-reflector cluster (the paper's note that full mesh is
 // the special case of route reflection with client-less clusters).

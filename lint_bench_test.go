@@ -47,12 +47,13 @@ func BenchmarkLintScale(b *testing.B) {
 	}
 
 	record := struct {
-		Job          string  `json:"job"`
-		Routers      int     `json:"routers"`
-		HeuristicSec float64 `json:"heuristic_sec"`
-		ProveSec     float64 `json:"prove_sec"`
-		Verdict      string  `json:"verdict"`
-		Under10s     bool    `json:"prove_under_10s"`
+		Job          string   `json:"job"`
+		Routers      int      `json:"routers"`
+		HeuristicSec float64  `json:"heuristic_sec"`
+		ProveSec     float64  `json:"prove_sec"`
+		Verdict      string   `json:"verdict"`
+		Under10s     bool     `json:"prove_under_10s"`
+		Env          benchEnv `json:"env"`
 	}{
 		Job:          "lint/topogen-default",
 		Routers:      tspec.N(),
@@ -60,6 +61,7 @@ func BenchmarkLintScale(b *testing.B) {
 		ProveSec:     prove.Seconds(),
 		Verdict:      verdict.String(),
 		Under10s:     prove <= 10*time.Second,
+		Env:          hostEnv(),
 	}
 	out, err := json.MarshalIndent(record, "", "  ")
 	if err != nil {

@@ -93,13 +93,14 @@ func BenchmarkRouterRefresh(b *testing.B) {
 	b.ReportMetric(simRate, "sim-msgs/sec")
 
 	record := struct {
-		Job              string  `json:"job"`
-		Routers          int     `json:"routers"`
-		Peers            int     `json:"peers_of_exit"`
-		AllocsPerRefresh float64 `json:"allocs_per_refresh"`
-		CoreMsgsPerSec   float64 `json:"core_msgs_per_sec"`
-		SimMsgsPerSec    float64 `json:"sim_msgs_per_sec"`
-		SimMessages      int     `json:"sim_messages"`
+		Job              string   `json:"job"`
+		Routers          int      `json:"routers"`
+		Peers            int      `json:"peers_of_exit"`
+		AllocsPerRefresh float64  `json:"allocs_per_refresh"`
+		CoreMsgsPerSec   float64  `json:"core_msgs_per_sec"`
+		SimMsgsPerSec    float64  `json:"sim_msgs_per_sec"`
+		SimMessages      int      `json:"sim_messages"`
+		Env              benchEnv `json:"env"`
 	}{
 		Job:              "router-refresh/3-cluster-med-rich-seed13",
 		Routers:          sys.N(),
@@ -108,6 +109,7 @@ func BenchmarkRouterRefresh(b *testing.B) {
 		CoreMsgsPerSec:   coreRate,
 		SimMsgsPerSec:    simRate,
 		SimMessages:      simMsgs,
+		Env:              hostEnv(),
 	}
 	writeBenchJSON(b, "BENCH_router.json", record)
 }

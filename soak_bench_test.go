@@ -60,6 +60,7 @@ func BenchmarkSoak(b *testing.B) {
 		MsgsPerSec  float64            `json:"msgs_per_sec"`
 		Convergence churn.LatencyStats `json:"convergence"`
 		StateHash   string             `json:"state_hash"`
+		Env         benchEnv           `json:"env"`
 	}{
 		Job:         "soak-sim/topogen-default-5clients-seed1",
 		Routers:     sys.N(),
@@ -70,6 +71,7 @@ func BenchmarkSoak(b *testing.B) {
 		MsgsPerSec:  rep.Measured.MsgsPerSec,
 		Convergence: rep.Measured.Convergence,
 		StateHash:   rep.Agg.StateHash,
+		Env:         hostEnv(),
 	}
 	writeBenchJSON(b, "BENCH_soak.json", record)
 }
