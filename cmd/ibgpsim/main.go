@@ -12,13 +12,17 @@
 //	        [-schedule roundrobin|allatonce|random] [-seed N]
 //	        [-max-steps N] [-trace] [-figure 1a|1b|2|3|12|13|14]
 //	        [-substrate model|sim|tcp] [-delay N] [-jitter N] [-mrai N]
-//	        [-wait D] [-faults SPEC]
+//	        [-wait D] [-faults SPEC] [-codec private|bgp4]
 //
 // Either -topology or -figure selects the system. -substrate=sim runs the
 // message-level simulator (virtual ticks; -delay/-jitter shape per-message
 // delays), -substrate=tcp runs the loopback speakers (milliseconds; -wait
 // bounds the quiescence wait). -msgsim is a deprecated alias for
 // -substrate=sim.
+//
+// -codec selects the TCP speakers' wire format: the compact private codec
+// (default) or real BGP-4 messages per RFC 4271/4456/7911. The codec is
+// pure transport — both produce identical routing outcomes.
 //
 // -faults installs a deterministic fault plan on either operational
 // substrate: "seed=7,drop=0.05,dup=0.02,delay=0.2,maxdelay=30,
@@ -56,6 +60,7 @@ func main() {
 		mrai      = flag.Int64("mrai", 0, "minimum route advertisement interval, sim ticks / tcp ms (0 off)")
 		wait      = flag.Duration("wait", 5*time.Second, "tcp: quiescence wait bound")
 		faultSpec = flag.String("faults", "", `sim/tcp: fault plan, e.g. "seed=7,drop=0.05,dup=0.02,delay=0.2,maxdelay=30,reset=0-1@100+50,horizon=600"`)
+		codecName = flag.String("codec", "private", "tcp: wire format, private or bgp4")
 	)
 	flag.Parse()
 
@@ -77,6 +82,11 @@ func main() {
 	if *useMsg {
 		*substrate = "sim"
 	}
+	codec, err := cli.ParseCodec(*codecName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ibgpsim:", err)
+		os.Exit(1)
+	}
 	var plan *ibgp.FaultPlan
 	if *faultSpec != "" {
 		if *substrate == "model" {
@@ -96,7 +106,7 @@ func main() {
 	case "sim":
 		runMsgsim(sys, pol, opts, plan, *delay, *jitter, *mrai, *seed, *maxSteps, *showTr)
 	case "tcp":
-		runTCP(sys, pol, opts, plan, *mrai, *wait, *showTr)
+		runTCP(sys, pol, opts, plan, codec, *mrai, *wait, *showTr)
 	default:
 		fmt.Fprintf(os.Stderr, "ibgpsim: unknown substrate %q (model, sim or tcp)\n", *substrate)
 		os.Exit(1)
@@ -180,8 +190,9 @@ func runMsgsim(sys *ibgp.System, pol ibgp.Policy, opts ibgp.Options, plan *ibgp.
 	}
 }
 
-func runTCP(sys *ibgp.System, pol ibgp.Policy, opts ibgp.Options, plan *ibgp.FaultPlan, mrai int64, wait time.Duration, showTrace bool) {
+func runTCP(sys *ibgp.System, pol ibgp.Policy, opts ibgp.Options, plan *ibgp.FaultPlan, codec ibgp.Codec, mrai int64, wait time.Duration, showTrace bool) {
 	n := ibgp.NewTCPNetwork(sys, pol, opts)
+	n.SetCodec(codec)
 	n.SetMRAI(mrai)
 	if err := n.SetFaults(plan); err != nil {
 		fmt.Fprintln(os.Stderr, "ibgpsim:", err)
@@ -209,6 +220,9 @@ func runTCP(sys *ibgp.System, pol ibgp.Policy, opts ibgp.Options, plan *ibgp.Fau
 	fmt.Println(ibgp.CountersLine(c))
 	if fl := ibgp.FaultsLine(c); fl != "" {
 		fmt.Println(fl)
+	}
+	if sl := ibgp.SessionLine(c); sl != "" {
+		fmt.Println(sl)
 	}
 	printBest(sys, n.BestAll())
 	if !quiesced {

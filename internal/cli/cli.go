@@ -14,6 +14,7 @@ import (
 	"repro/internal/figures"
 	"repro/internal/protocol"
 	"repro/internal/selection"
+	"repro/internal/speaker"
 	"repro/internal/topogen"
 	"repro/internal/topology"
 	"repro/internal/workload"
@@ -104,7 +105,7 @@ func ParseOptions(order, med string) (selection.Options, error) {
 // the named fields. The result is validated.
 func ParseWorkloadParams(s string, base workload.Params) (workload.Params, error) {
 	p := base
-	err := parseKVList(s, map[string]func(string) error{
+	err := parseKVList("-params", s, map[string]func(string) error{
 		"clusters":   intField(&p.Clusters),
 		"minclients": intField(&p.MinClients),
 		"maxclients": intField(&p.MaxClients),
@@ -124,7 +125,7 @@ func ParseWorkloadParams(s string, base workload.Params) (workload.Params, error
 // family: keys clusters, twoclienton, ases, maxmed, dotted.
 func ParseCrossedSpec(s string, base workload.CrossedSpec) (workload.CrossedSpec, error) {
 	spec := base
-	err := parseKVList(s, map[string]func(string) error{
+	err := parseKVList("-params", s, map[string]func(string) error{
 		"clusters":    intField(&spec.Clusters),
 		"twoclienton": intField(&spec.TwoClientOn),
 		"ases":        intField(&spec.ASes),
@@ -142,7 +143,7 @@ func ParseCrossedSpec(s string, base workload.CrossedSpec) (workload.CrossedSpec
 // exits, prefixes, maxmed, corecost, accesscost.
 func ParseTopogenSpec(s string, base topogen.Spec) (topogen.Spec, error) {
 	spec := base
-	err := parseKVList(s, map[string]func(string) error{
+	err := parseKVList("-params", s, map[string]func(string) error{
 		"regions":    intField(&spec.Regions),
 		"rrs":        intField(&spec.RRsPerRegion),
 		"pops":       intField(&spec.PoPs),
@@ -168,7 +169,7 @@ func ParseTopogenSpec(s string, base topogen.Spec) (topogen.Spec, error) {
 // are rejected here rather than deep in a soak.
 func ParseChurnSpec(s string, base churn.Spec) (churn.Spec, error) {
 	spec := base
-	err := parseKVList(s, map[string]func(string) error{
+	err := parseKVList("-churn", s, map[string]func(string) error{
 		"seed":     int64Field(&spec.Seed),
 		"prefixes": intField(&spec.Prefixes),
 		"rate":     floatField(&spec.Rate),
@@ -183,8 +184,11 @@ func ParseChurnSpec(s string, base churn.Spec) (churn.Spec, error) {
 }
 
 // parseKVList applies a comma-separated key=value list via per-key
-// setters; the empty string sets nothing.
-func parseKVList(s string, fields map[string]func(string) error) error {
+// setters; the empty string sets nothing. flag names the command-line
+// flag being parsed, so an error can tell the operator exactly which
+// flag and which key is wrong instead of surfacing a raw strconv
+// message with no context.
+func parseKVList(flag, s string, fields map[string]func(string) error) error {
 	if strings.TrimSpace(s) == "" {
 		return nil
 	}
@@ -198,38 +202,55 @@ func parseKVList(s string, fields map[string]func(string) error) error {
 				keys = append(keys, k)
 			}
 			sort.Strings(keys)
-			return fmt.Errorf("bad -params entry %q (want key=value with keys %s)", kv, strings.Join(keys, ", "))
+			return fmt.Errorf("bad %s entry %q (want key=value with keys %s)", flag, kv, strings.Join(keys, ", "))
 		}
 		if err := set(strings.TrimSpace(val)); err != nil {
-			return fmt.Errorf("bad -params value %q: %v", kv, err)
+			return fmt.Errorf("bad %s value for %q: %v", flag, key, err)
 		}
 	}
 	return nil
 }
 
+// The field setters leave the destination untouched on a parse failure
+// and return an error naming the offending value in plain language; the
+// flag and key context is added by parseKVList.
+
 func intField(dst *int) func(string) error {
 	return func(v string) error {
 		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("%q is not an integer", v)
+		}
 		*dst = n
-		return err
+		return nil
 	}
 }
 
 func int64Field(dst *int64) func(string) error {
 	return func(v string) error {
 		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("%q is not an integer", v)
+		}
 		*dst = n
-		return err
+		return nil
 	}
 }
 
 func floatField(dst *float64) func(string) error {
 	return func(v string) error {
 		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("%q is not a number", v)
+		}
 		*dst = f
-		return err
+		return nil
 	}
 }
+
+// ParseCodec maps a -codec flag value to a speaker wire format; the
+// empty string selects the private codec.
+func ParseCodec(s string) (speaker.Codec, error) { return speaker.CodecByName(s) }
 
 // ParseSchedule maps a -schedule flag value to a schedule over n nodes.
 func ParseSchedule(s string, n int, seed int64) (protocol.Schedule, error) {

@@ -253,3 +253,68 @@ func TestParseCrossedSpec(t *testing.T) {
 		}
 	}
 }
+
+// TestParseErrorsNameFlagAndKey pins the error-context contract: a bad
+// value must surface the flag being parsed and the offending key, never a
+// raw strconv message with no context.
+func TestParseErrorsNameFlagAndKey(t *testing.T) {
+	cases := []struct {
+		parse func(string) error
+		input string
+		want  []string
+	}{
+		{func(s string) error { _, err := ParseWorkloadParams(s, workload.Default(3)); return err },
+			"clusters=three", []string{"-params", "clusters", `"three" is not an integer`}},
+		{func(s string) error { _, err := ParseWorkloadParams(s, workload.Default(3)); return err },
+			"maxcost=1e9", []string{"-params", "maxcost", "is not an integer"}},
+		{func(s string) error { _, err := ParseChurnSpec(s, churn.DefaultSpec()); return err },
+			"rate=fast", []string{"-churn", "rate", `"fast" is not a number`}},
+		{func(s string) error { _, err := ParseChurnSpec(s, churn.DefaultSpec()); return err },
+			"seed=abc", []string{"-churn", "seed", "is not an integer"}},
+		{func(s string) error { _, err := ParseCrossedSpec(s, workload.CrossedSpec{}); return err },
+			"dotted=x", []string{"-params", "dotted", "is not a number"}},
+	}
+	for _, tc := range cases {
+		err := tc.parse(tc.input)
+		if err == nil {
+			t.Errorf("%q accepted", tc.input)
+			continue
+		}
+		for _, want := range tc.want {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error for %q = %q, missing %q", tc.input, err, want)
+			}
+		}
+	}
+}
+
+// TestParseFailureLeavesBaseUntouched: a failing setter must not have
+// half-applied the value before the error was noticed.
+func TestParseFailureLeavesBaseUntouched(t *testing.T) {
+	base := churn.DefaultSpec()
+	if _, err := ParseChurnSpec("rate=40,period=xyz", base); err == nil {
+		t.Fatal("bad period accepted")
+	}
+	// base is passed by value, so re-parse the valid prefix and check the
+	// failing key's destination kept its default.
+	spec, err := ParseChurnSpec("rate=40", base)
+	if err != nil || spec.Period != base.Period {
+		t.Fatalf("period = %d (want default %d), err %v", spec.Period, base.Period, err)
+	}
+}
+
+func TestParseCodec(t *testing.T) {
+	for name, want := range map[string]string{"": "private", "private": "private", "bgp4": "bgp4"} {
+		c, err := ParseCodec(name)
+		if err != nil {
+			t.Fatalf("ParseCodec(%q): %v", name, err)
+		}
+		if c.Name() != want {
+			t.Fatalf("ParseCodec(%q).Name() = %q, want %q", name, c.Name(), want)
+		}
+	}
+	_, err := ParseCodec("bgp5")
+	if err == nil || !strings.Contains(err.Error(), "bgp5") || !strings.Contains(err.Error(), "private") {
+		t.Fatalf("unknown codec error = %v, want the name and the valid set", err)
+	}
+}

@@ -43,6 +43,21 @@ const (
 	// FaultReorder fires when the fault layer lets an UPDATE overtake
 	// earlier messages on its session (msgsim only).
 	FaultReorder
+	// NotificationReceived fires when a peer closes the session with a
+	// NOTIFICATION; Code and Subcode carry the peer's stated reason.
+	NotificationReceived
+	// BadFrame fires when an inbound message fails to decode (corrupt
+	// marker, bad length or type, malformed attributes) and the session is
+	// torn down; under a codec that supports it, a NOTIFICATION with Code
+	// and Subcode is sent back first.
+	BadFrame
+	// HoldExpired fires when the negotiated hold time elapses with no
+	// message from the peer (RFC 4271 §6.5); the session sends a
+	// NOTIFICATION and tears down.
+	HoldExpired
+	// RouteLoop fires once per announced route dropped by RFC 4456 §8
+	// reflection loop detection (own ORIGINATOR_ID or cluster ID seen).
+	RouteLoop
 )
 
 // String names the kind for logs and renderers.
@@ -72,6 +87,14 @@ func (k EventKind) String() string {
 		return "FaultDelay"
 	case FaultReorder:
 		return "FaultReorder"
+	case NotificationReceived:
+		return "NotificationReceived"
+	case BadFrame:
+		return "BadFrame"
+	case HoldExpired:
+		return "HoldExpired"
+	case RouteLoop:
+		return "RouteLoop"
 	default:
 		return "Unknown"
 	}
@@ -106,6 +129,9 @@ type Event struct {
 	// ArriveAt is the transport-reported delivery time of an UpdateSent
 	// event; negative when the transport cannot know it (TCP).
 	ArriveAt int64
+	// Code and Subcode carry the BGP NOTIFICATION error of a
+	// NotificationReceived, BadFrame or HoldExpired event.
+	Code, Subcode uint8
 }
 
 // Counters aggregates the operational meters of one substrate. A single
@@ -141,6 +167,16 @@ type Counters struct {
 	FaultDups     atomic.Int64
 	FaultDelays   atomic.Int64
 	FaultReorders atomic.Int64
+	// Notifs counts sessions closed by a peer's NOTIFICATION.
+	Notifs atomic.Int64
+	// BadFrames counts inbound messages that failed to decode (corruption,
+	// as opposed to clean EOF or teardown).
+	BadFrames atomic.Int64
+	// HoldExpiries counts sessions torn down by hold-timer expiry.
+	HoldExpiries atomic.Int64
+	// RouteLoops counts announced routes dropped by RFC 4456 reflection
+	// loop detection.
+	RouteLoops atomic.Int64
 }
 
 // Snapshot is a plain-value copy of Counters at one instant.
@@ -157,6 +193,10 @@ type Snapshot struct {
 	FaultDups     int64
 	FaultDelays   int64
 	FaultReorders int64
+	Notifs        int64
+	BadFrames     int64
+	HoldExpiries  int64
+	RouteLoops    int64
 }
 
 // Snapshot reads every counter once.
@@ -174,5 +214,9 @@ func (c *Counters) Snapshot() Snapshot {
 		FaultDups:     c.FaultDups.Load(),
 		FaultDelays:   c.FaultDelays.Load(),
 		FaultReorders: c.FaultReorders.Load(),
+		Notifs:        c.Notifs.Load(),
+		BadFrames:     c.BadFrames.Load(),
+		HoldExpiries:  c.HoldExpiries.Load(),
+		RouteLoops:    c.RouteLoops.Load(),
 	}
 }

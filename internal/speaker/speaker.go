@@ -13,9 +13,11 @@ package speaker
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/bgp"
@@ -49,17 +51,22 @@ type inbound struct {
 	peerUp   *bgp.NodeID // session to this peer re-established
 }
 
-// outMsg is one UPDATE queued for a session's write loop, with the
+// outMsg is one message queued for a session's write loop, with the
 // earliest wall-clock instant it may hit the wire (fault-delay fates push
 // it into the future; later messages queue behind it, preserving FIFO).
 // The message is pre-encoded at send time: the core's scratch Update is
 // only valid while Refresh runs, so the bytes must be taken before the
 // message crosses onto the session goroutine. buf comes from outBufPool
 // and is recycled by whoever consumes the message (written, dropped or
-// drained).
+// drained). ctrl marks session-machinery messages (keepalives,
+// notifications) that are invisible to the UPDATE quiescence ledger;
+// closeAfter tears the connection down right after the write, the
+// NOTIFICATION-then-close of RFC 4271 §6.
 type outMsg struct {
-	buf *[]byte
-	at  time.Time
+	buf        *[]byte
+	at         time.Time
+	ctrl       bool
+	closeAfter bool
 }
 
 // outBufPool recycles encoded-UPDATE buffers between the speakers' send
@@ -72,10 +79,11 @@ var outBufPool = sync.Pool{
 	},
 }
 
-// encodeOut frames one UPDATE into a pooled buffer.
-func encodeOut(upd *wire.Update) (*[]byte, error) {
+// encodeOut frames one UPDATE into a pooled buffer using the session's
+// codec.
+func (sess *session) encodeOut(upd *wire.Update) (*[]byte, error) {
 	bp := outBufPool.Get().(*[]byte)
-	b, err := wire.AppendUpdate((*bp)[:0], upd)
+	b, err := sess.codec.AppendUpdate((*bp)[:0], upd)
 	if err != nil {
 		outBufPool.Put(bp)
 		return nil, err
@@ -92,9 +100,10 @@ func recycleOut(bp *[]byte) { outBufPool.Put(bp) }
 // reopen installs a fresh one; the written/got meters of the dead
 // incarnation reconcile its in-flight losses into the Dropped counter.
 type session struct {
-	peer bgp.NodeID
-	conn net.Conn
-	outQ chan outMsg
+	peer  bgp.NodeID
+	conn  net.Conn
+	codec SessionCodec
+	outQ  chan outMsg
 
 	stop      chan struct{} // closed when this incarnation is torn down
 	readDone  chan struct{} // closed when readLoop exits
@@ -103,12 +112,18 @@ type session struct {
 	seq     int          // outbound UPDATE sequence; guarded by Speaker.mu
 	written atomic.Int64 // UPDATEs successfully written to the wire
 	got     atomic.Int64 // UPDATEs read off the wire by the receiver
+
+	// downPosted latches the first peer-down cause this incarnation
+	// reports (notification, hold expiry, bad frame, transport loss), so
+	// the core sees exactly one PeerDown per teardown.
+	downPosted atomic.Bool
 }
 
-func newSession(peer bgp.NodeID, conn net.Conn) *session {
+func newSession(peer bgp.NodeID, conn net.Conn, codec SessionCodec) *session {
 	return &session{
 		peer:      peer,
 		conn:      conn,
+		codec:     codec,
 		outQ:      make(chan outMsg, 1024),
 		stop:      make(chan struct{}),
 		readDone:  make(chan struct{}),
@@ -178,6 +193,14 @@ type Network struct {
 	speakers []*Speaker
 	plan     *faults.Plan
 
+	// codec selects the wire format for every session (default private);
+	// holdTime is the locally proposed hold time for codecs that
+	// negotiate one. noKeepalives suppresses keepalive generation while
+	// keeping the hold timer armed — a test hook for forcing expiry.
+	codec        Codec
+	holdTime     time.Duration
+	noKeepalives bool
+
 	counters router.Counters
 	timers   atomic.Int64 // outstanding timers: MRAI reopens, drop retries, resets
 
@@ -211,7 +234,7 @@ func NewMulti(systems map[uint32]*topology.System, policy protocol.Policy, opts 
 	if err != nil {
 		return nil, fmt.Errorf("speaker: %w", err)
 	}
-	n := &Network{dom: dom}
+	n := &Network{dom: dom, codec: PrivateCodec, holdTime: defaultHoldTime}
 	for u := 0; u < dom.Base().N(); u++ {
 		sp := &Speaker{
 			net:      n,
@@ -245,6 +268,64 @@ func (n *Network) MessagesDropped() int { return int(n.counters.Dropped.Load()) 
 
 // Counters returns the shared operational counters at this instant.
 func (n *Network) Counters() router.Snapshot { return n.counters.Snapshot() }
+
+// defaultHoldTime is the hold time proposed on codecs that negotiate one
+// (RFC 4271 suggests 90 seconds).
+const defaultHoldTime = 90 * time.Second
+
+// SetCodec selects the wire format for every session. Call before Start;
+// nil restores the private codec.
+func (n *Network) SetCodec(c Codec) {
+	if c == nil {
+		c = PrivateCodec
+	}
+	n.codec = c
+}
+
+// CodecName returns the name of the wire format in use.
+func (n *Network) CodecName() string { return n.codec.Name() }
+
+// SetHoldTime sets the locally proposed session hold time for codecs that
+// negotiate one (0 disables the hold timer and keepalives). Call before
+// Start.
+func (n *Network) SetHoldTime(d time.Duration) { n.holdTime = d }
+
+// DisableKeepalives stops the speakers from generating keepalives while
+// leaving the negotiated hold timer armed, so a test can force hold-timer
+// expiry on an otherwise healthy session. Call before Start.
+func (n *Network) DisableKeepalives() { n.noKeepalives = true }
+
+// newSessionCodec builds the per-session codec state for the session
+// local->peer (peer -1 on the accept side, where the handshake discovers
+// it). The returned NodeID pointer is the loop-detection callback's view
+// of the peer: the accept path must store the discovered peer through it
+// before launching the session loops.
+func (n *Network) newSessionCodec(local, peer bgp.NodeID) (SessionCodec, *bgp.NodeID) {
+	sys := n.dom.Base()
+	peerRef := new(bgp.NodeID)
+	*peerRef = peer
+	localID := uint32(sys.BGPID(local))
+	info := SessionInfo{
+		LocalNode:  local,
+		PeerNode:   peer,
+		LocalAS:    LocalAS,
+		LocalBGPID: localID,
+		ClusterID:  localID,
+		HoldTime:   n.holdTime,
+		BGPIDOf: func(u bgp.NodeID) (uint32, bool) {
+			if int(u) < 0 || int(u) >= sys.N() {
+				return 0, false
+			}
+			return uint32(sys.BGPID(u)), true
+		},
+		OnLoop: func(prefix, path uint32) {
+			n.counters.RouteLoops.Add(1)
+			n.dispatch(router.Event{Kind: router.RouteLoop, Time: n.now(),
+				Node: local, Peer: *peerRef, Prefix: prefix, Path: bgp.PathID(path)})
+		},
+	}
+	return n.codec.NewSession(info), peerRef
+}
 
 // SetMRAI sets the minimum route advertisement interval on every speaker,
 // in milliseconds of wall clock (0 disables, the default). Call before
@@ -365,10 +446,11 @@ func (n *Network) Start() error {
 	// Accept side: each listener accepts its expected number of inbound
 	// sessions (from higher-numbered... lower-numbered peers dial).
 	type accepted struct {
-		to   int
-		conn net.Conn
-		peer bgp.NodeID
-		err  error
+		to    int
+		conn  net.Conn
+		peer  bgp.NodeID
+		codec SessionCodec
+		err   error
 	}
 	expect := make([]int, len(n.speakers))
 	for u := 0; u < sys.N(); u++ {
@@ -393,20 +475,20 @@ func (n *Network) Start() error {
 					acceptCh <- accepted{to: i, err: err}
 					return
 				}
-				// Read the peer's OPEN to learn who dialed.
-				msg, err := wire.NewReader(conn).ReadMessage()
+				// The codec handshake learns who dialed (the private
+				// codec from the OPEN's node field, bgp4 from the
+				// node-ID capability of its full OPEN exchange).
+				sc, peerRef := n.newSessionCodec(bgp.NodeID(i), -1)
+				peer, err := sc.Handshake(conn, false)
 				if err != nil {
 					conn.Close()
 					acceptCh <- accepted{to: i, err: err}
 					return
 				}
-				open, ok := msg.(wire.Open)
-				if !ok {
-					conn.Close()
-					acceptCh <- accepted{to: i, err: errors.New("speaker: expected OPEN")}
-					return
-				}
-				acceptCh <- accepted{to: i, conn: conn, peer: bgp.NodeID(open.NodeID)}
+				// Store the discovered peer before the session loops
+				// start; the loop-detection callback reads through it.
+				*peerRef = peer
+				acceptCh <- accepted{to: i, conn: conn, peer: peer, codec: sc}
 			}
 		}(i, ln, expect[i])
 	}
@@ -423,16 +505,19 @@ func (n *Network) Start() error {
 				dialErr = err
 				break
 			}
-			if err := wire.NewWriter(conn).WriteMessage(wire.Open{
-				Version: wire.Version,
-				BGPID:   uint32(sys.BGPID(bgp.NodeID(u))),
-				NodeID:  uint32(u),
-			}); err != nil {
+			sc, _ := n.newSessionCodec(bgp.NodeID(u), v)
+			peer, err := sc.Handshake(conn, true)
+			if err != nil {
 				conn.Close()
 				dialErr = err
 				break
 			}
-			n.speakers[u].sessions[v] = newSession(v, conn)
+			if peer != v {
+				conn.Close()
+				dialErr = fmt.Errorf("speaker: dialed %s but peer identifies as node %d", sys.Name(v), peer)
+				break
+			}
+			n.speakers[u].sessions[v] = newSession(v, conn, sc)
 		}
 	}
 	acceptWG.Wait()
@@ -442,7 +527,7 @@ func (n *Network) Start() error {
 			dialErr = a.err
 		}
 		if a.conn != nil {
-			n.speakers[a.to].sessions[a.peer] = newSession(a.peer, a.conn)
+			n.speakers[a.to].sessions[a.peer] = newSession(a.peer, a.conn, a.codec)
 		}
 	}
 	if dialErr != nil {
@@ -490,22 +575,131 @@ func (n *Network) scheduleResets() {
 // start launches the speaker's per-session loops and the main loop.
 func (s *Speaker) start() {
 	for _, sess := range s.sessions {
-		s.wg.Add(2)
-		go s.readLoop(sess)
-		go s.writeLoop(sess)
+		s.startSession(sess)
 	}
 	s.wg.Add(1)
 	go s.mainLoop()
 }
 
+// startSession launches one session incarnation's read and write loops,
+// plus the keepalive generator when the codec negotiated a hold time.
+func (s *Speaker) startSession(sess *session) {
+	s.wg.Add(2)
+	go s.readLoop(sess)
+	go s.writeLoop(sess)
+	if hold := sess.codec.HoldTime(); hold > 0 && !s.net.noKeepalives {
+		s.wg.Add(1)
+		go s.keepaliveLoop(sess, hold/3)
+	}
+}
+
+// keepaliveLoop enqueues one keepalive per interval (a third of the
+// negotiated hold time, RFC 4271 §4.4) as a control message, invisible to
+// the UPDATE quiescence ledger.
+func (s *Speaker) keepaliveLoop(sess *session, interval time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-sess.stop:
+			return
+		case <-t.C:
+			bp := outBufPool.Get().(*[]byte)
+			*bp = sess.codec.AppendKeepalive((*bp)[:0])
+			select {
+			case sess.outQ <- outMsg{buf: bp, at: time.Now(), ctrl: true}:
+			default:
+				recycleOut(bp) // queue full: the pending traffic is liveness enough
+			}
+		}
+	}
+}
+
+// postPeerDown reports this incarnation's death to the router core exactly
+// once, whatever kills it first (peer NOTIFICATION, hold expiry, corrupt
+// frame, transport loss). Planned teardowns — fault resets and Stop — post
+// their own controls and never come through here.
+func (s *Speaker) postPeerDown(sess *session) {
+	if !sess.downPosted.CompareAndSwap(false, true) {
+		return
+	}
+	peer := sess.peer
+	s.post(inbound{peerDown: &peer})
+}
+
+// sendNotification enqueues a NOTIFICATION as the session's final message:
+// the write loop closes the connection right after it (RFC 4271 §6).
+func (s *Speaker) sendNotification(sess *session, note wire.Notification) {
+	bp := outBufPool.Get().(*[]byte)
+	*bp = sess.codec.AppendNotification((*bp)[:0], note)
+	select {
+	case sess.outQ <- outMsg{buf: bp, at: time.Now(), ctrl: true, closeAfter: true}:
+	default:
+		// Queue full: close without the courtesy message.
+		recycleOut(bp)
+		sess.conn.Close()
+	}
+}
+
+// teardownCaused reports whether a read error is this side's own doing —
+// Stop or a fault reset closed the connection under the reader — rather
+// than anything the peer sent. Those paths account the death themselves.
+func (s *Speaker) teardownCaused(sess *session) bool {
+	select {
+	case <-sess.stop:
+		return true
+	default:
+	}
+	select {
+	case <-s.done:
+		return true
+	default:
+	}
+	return false
+}
+
 func (s *Speaker) readLoop(sess *session) {
 	defer s.wg.Done()
 	defer close(sess.readDone)
-	r := wire.NewReader(sess.conn)
 	for {
-		msg, err := r.ReadMessage()
+		msg, err := sess.codec.ReadMessage()
 		if err != nil {
-			return // EOF or teardown
+			if s.teardownCaused(sess) {
+				return // own Stop or fault reset: accounted elsewhere
+			}
+			var nerr net.Error
+			switch {
+			case errors.As(err, &nerr) && nerr.Timeout():
+				// Hold timer expired: NOTIFICATION, teardown, peer down
+				// (RFC 4271 §6.5).
+				s.net.counters.HoldExpiries.Add(1)
+				s.net.dispatch(router.Event{Kind: router.HoldExpired, Time: s.net.now(),
+					Node: s.id, Peer: sess.peer, Code: 4})
+				s.sendNotification(sess, wire.Notification{Code: 4})
+				s.postPeerDown(sess)
+			case errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE):
+				// Clean close or transport loss: peer down, nothing to say.
+				s.postPeerDown(sess)
+			default:
+				// Corrupt frame: count it, surface it, and (when the codec
+				// maps the error to a NOTIFICATION) tell the peer before
+				// tearing down. Conflating this with clean EOF previously
+				// made corruption invisible.
+				s.net.counters.BadFrames.Add(1)
+				note, hasNote := sess.codec.NotificationFor(err)
+				s.net.dispatch(router.Event{Kind: router.BadFrame, Time: s.net.now(),
+					Node: s.id, Peer: sess.peer, Code: note.Code, Subcode: note.Subcode})
+				if hasNote {
+					s.sendNotification(sess, note)
+				} else {
+					sess.conn.Close()
+				}
+				s.postPeerDown(sess)
+			}
+			return
 		}
 		switch m := msg.(type) {
 		case wire.Update:
@@ -518,6 +712,14 @@ func (s *Speaker) readLoop(sess *session) {
 		case wire.Keepalive, wire.Open:
 			// Liveness / duplicate OPEN: ignored.
 		case wire.Notification:
+			// The peer closed the session with a stated reason: surface it
+			// as a typed event and flush like any other session death. The
+			// silent return this replaces left operators unable to tell a
+			// peer-initiated close from transport loss.
+			s.net.counters.Notifs.Add(1)
+			s.net.dispatch(router.Event{Kind: router.NotificationReceived, Time: s.net.now(),
+				Node: s.id, Peer: sess.peer, Code: m.Code, Subcode: m.Subcode})
+			s.postPeerDown(sess)
 			return
 		}
 	}
@@ -551,35 +753,52 @@ func (s *Speaker) writeLoop(sess *session) {
 				return
 			case <-sess.stop:
 				t.Stop()
-				s.net.counters.Dropped.Add(1) // m itself
+				if !m.ctrl {
+					s.net.counters.Dropped.Add(1) // m itself
+				}
 				recycleOut(m.buf)
 				s.drainOutQ(sess)
 				return
 			}
 		}
 		if dead {
-			s.net.counters.Dropped.Add(1)
+			if !m.ctrl {
+				s.net.counters.Dropped.Add(1)
+			}
 			recycleOut(m.buf)
 			continue
 		}
 		if _, err := sess.conn.Write(*m.buf); err != nil {
 			dead = true
-			s.net.counters.Dropped.Add(1)
+			if !m.ctrl {
+				s.net.counters.Dropped.Add(1)
+			}
 			recycleOut(m.buf)
 			continue
 		}
-		sess.written.Add(1)
+		if !m.ctrl {
+			sess.written.Add(1)
+		}
 		recycleOut(m.buf)
+		if m.closeAfter {
+			// NOTIFICATION written: the session ends here (RFC 4271 §6).
+			// Later queue entries are accounted by the dead branch above.
+			dead = true
+			sess.conn.Close()
+		}
 	}
 }
 
-// drainOutQ counts every message still queued on a torn-down session as
-// dropped; they never reached the wire.
+// drainOutQ counts every UPDATE still queued on a torn-down session as
+// dropped (control messages are invisible to the ledger); they never
+// reached the wire.
 func (s *Speaker) drainOutQ(sess *session) {
 	for {
 		select {
 		case m := <-sess.outQ:
-			s.net.counters.Dropped.Add(1)
+			if !m.ctrl {
+				s.net.counters.Dropped.Add(1)
+			}
 			recycleOut(m.buf)
 		default:
 			return
@@ -691,7 +910,7 @@ func (s *Speaker) send(w bgp.NodeID, upd *wire.Update) (int64, error) {
 	// Encode now, into a pooled buffer: upd points at the core's reusable
 	// refresh scratch, which the next flush overwrites, so the bytes must
 	// be taken before the message crosses onto the session goroutine.
-	bp, err := encodeOut(upd)
+	bp, err := sess.encodeOut(upd)
 	if err != nil {
 		s.scheduleRetry(w)
 		return -1, fmt.Errorf("speaker: encode for %d: %w", w, err)
@@ -792,9 +1011,7 @@ func (s *Speaker) installSession(sess *session) {
 	s.mu.Lock()
 	s.sessions[sess.peer] = sess
 	s.mu.Unlock()
-	s.wg.Add(2)
-	go s.readLoop(sess)
-	go s.writeLoop(sess)
+	s.startSession(sess)
 }
 
 // resetSession executes one fault-plan session reset: tear both directions
@@ -874,9 +1091,29 @@ func (n *Network) reopenSession(r faults.Reset) {
 		connA.Close()
 		return
 	}
-	// The Network wires both ends itself, so no OPEN exchange is needed.
-	n.speakers[r.A].installSession(newSession(r.B, connA))
-	n.speakers[r.B].installSession(newSession(r.A, rb.conn))
+	// Re-establish the session at the codec level too: both ends run
+	// their handshake concurrently (bgp4's OPEN exchange is symmetric and
+	// would deadlock run back to back on one goroutine).
+	scA, _ := n.newSessionCodec(r.A, r.B)
+	scB, _ := n.newSessionCodec(r.B, r.A)
+	type hs struct {
+		peer bgp.NodeID
+		err  error
+	}
+	hch := make(chan hs, 1)
+	go func() {
+		peer, err := scB.Handshake(rb.conn, false)
+		hch <- hs{peer, err}
+	}()
+	peerA, errA := scA.Handshake(connA, true)
+	hb := <-hch
+	if errA != nil || hb.err != nil || peerA != r.B || hb.peer != r.A {
+		connA.Close()
+		rb.conn.Close()
+		return // leave the session down; dead sessions still quiesce
+	}
+	n.speakers[r.A].installSession(newSession(r.B, connA, scA))
+	n.speakers[r.B].installSession(newSession(r.A, rb.conn, scB))
 	n.speakers[r.A].post(inbound{peerUp: &r.B})
 	n.speakers[r.B].post(inbound{peerUp: &r.A})
 }

@@ -71,6 +71,8 @@ type eventRecord struct {
 	Withdrawn *int   `json:"withdrawn,omitempty"`
 	ReadyAt   *int64 `json:"readyAt,omitempty"`
 	Flushed   *int   `json:"flushed,omitempty"`
+	Code      *int   `json:"code,omitempty"`
+	Subcode   *int   `json:"subcode,omitempty"`
 }
 
 func iptr(v int) *int       { return &v }
@@ -104,6 +106,16 @@ func record(ev router.Event) eventRecord {
 	case router.FaultDelay:
 		rec.Peer = iptr(int(ev.Peer))
 		rec.ReadyAt = i64ptr(ev.ReadyAt)
+	case router.NotificationReceived, router.BadFrame:
+		rec.Peer = iptr(int(ev.Peer))
+		rec.Code = iptr(int(ev.Code))
+		rec.Subcode = iptr(int(ev.Subcode))
+	case router.HoldExpired:
+		rec.Peer = iptr(int(ev.Peer))
+	case router.RouteLoop:
+		rec.Peer = iptr(int(ev.Peer))
+		rec.Prefix = i64ptr(int64(ev.Prefix))
+		rec.Path = i64ptr(int64(ev.Path))
 	}
 	return rec
 }

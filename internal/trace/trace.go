@@ -202,6 +202,18 @@ func NewRouterEventRenderer(sys *topology.System, multi bool) func(router.Event)
 		case router.FaultReorder:
 			return line(ev.Time, "%s -> %s FAULT: update reordered",
 				sys.Name(ev.Node), sys.Name(ev.Peer))
+		case router.NotificationReceived:
+			return line(ev.Time, "%s session to %s closed by peer NOTIFICATION %d/%d",
+				sys.Name(ev.Node), sys.Name(ev.Peer), ev.Code, ev.Subcode)
+		case router.BadFrame:
+			return line(ev.Time, "%s session to %s: malformed frame (NOTIFICATION %d/%d)",
+				sys.Name(ev.Node), sys.Name(ev.Peer), ev.Code, ev.Subcode)
+		case router.HoldExpired:
+			return line(ev.Time, "%s session to %s: hold timer expired",
+				sys.Name(ev.Node), sys.Name(ev.Peer))
+		case router.RouteLoop:
+			return line(ev.Time, "%s dropped looped route %d/p%d from %s (RFC 4456)",
+				sys.Name(ev.Node), ev.Prefix, ev.Path, sys.Name(ev.Peer))
 		default:
 			return ""
 		}
@@ -224,4 +236,16 @@ func FaultsLine(c router.Snapshot) string {
 	}
 	return fmt.Sprintf("faults: dropped=%-4d duplicated=%-4d delayed=%-4d reordered=%-4d resets=%-3d flushed=%d",
 		c.FaultDrops, c.FaultDups, c.FaultDelays, c.FaultReorders, c.Resets, c.Flushed)
+}
+
+// SessionLine renders the session-machinery counters of one run —
+// peer NOTIFICATIONs, undecodable frames, hold-timer expiries and RFC
+// 4456 loop drops — or "" when none fired (callers skip the line, so the
+// historical output of healthy runs is unchanged).
+func SessionLine(c router.Snapshot) string {
+	if c.Notifs+c.BadFrames+c.HoldExpiries+c.RouteLoops == 0 {
+		return ""
+	}
+	return fmt.Sprintf("session: notifications=%-4d badframes=%-4d holdexpiries=%-4d routeloops=%d",
+		c.Notifs, c.BadFrames, c.HoldExpiries, c.RouteLoops)
 }

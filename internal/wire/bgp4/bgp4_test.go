@@ -1,0 +1,278 @@
+package bgp4
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden hexdump fixtures")
+
+// golden compares data against the committed hexdump fixture, rewriting it
+// under -update. The fixtures pin the RFC 4271 layouts byte for byte, so a
+// refactor that shifts a single octet fails loudly.
+func golden(t *testing.T, name string, data []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		var b strings.Builder
+		for i := 0; i < len(data); i += 16 {
+			j := i + 16
+			if j > len(data) {
+				j = len(data)
+			}
+			fmt.Fprintf(&b, "%x\n", data[i:j])
+		}
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			t.Fatalf("write golden %s: %v", name, err)
+		}
+		return
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden %s (run with -update to create): %v", name, err)
+	}
+	want, err := hex.DecodeString(strings.Join(strings.Fields(string(raw)), ""))
+	if err != nil {
+		t.Fatalf("golden %s is not a hexdump: %v", name, err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("%s drifted from golden layout:\n got %x\nwant %x", name, data, want)
+	}
+}
+
+// wantMessageErr asserts err is a *MessageError with the given NOTIFICATION
+// code and subcode.
+func wantMessageErr(t *testing.T, err error, code, subcode uint8) *MessageError {
+	t.Helper()
+	var me *MessageError
+	if !errors.As(err, &me) {
+		t.Fatalf("err = %v, want *MessageError %d/%d", err, code, subcode)
+	}
+	if me.Code != code || me.Subcode != subcode {
+		t.Fatalf("NOTIFICATION %d/%d (%s), want %d/%d", me.Code, me.Subcode, me.Reason, code, subcode)
+	}
+	return me
+}
+
+func TestOpenGoldenLayout(t *testing.T) {
+	data := AppendOpen(nil, Open{AS: 64512, HoldTime: 90, BGPID: 0x0a000001, NodeID: 7})
+	golden(t, "open.hex", data)
+
+	// Structural spot checks, independent of the fixture: RFC 4271 §4.2
+	// with one RFC 5492 capabilities parameter wrapping our three caps.
+	if len(data) != 49 {
+		t.Fatalf("OPEN frame is %d octets, want 49", len(data))
+	}
+	for i := 0; i < MarkerSize; i++ {
+		if data[i] != 0xFF {
+			t.Fatalf("marker octet %d = %#02x", i, data[i])
+		}
+	}
+	if data[HeaderSize] != Version {
+		t.Fatalf("version octet = %d", data[HeaderSize])
+	}
+	if optLen := data[HeaderSize+9]; int(optLen) != len(data)-HeaderSize-10 {
+		t.Fatalf("optional parameter length %d does not cover the tail", optLen)
+	}
+}
+
+func TestKeepaliveGoldenLayout(t *testing.T) {
+	data := AppendKeepalive(nil)
+	golden(t, "keepalive.hex", data)
+	if len(data) != HeaderSize {
+		t.Fatalf("KEEPALIVE is %d octets, want %d", len(data), HeaderSize)
+	}
+}
+
+func TestNotificationGoldenLayout(t *testing.T) {
+	data := AppendNotification(nil, Notification{Code: NotifCease, Subcode: 2, Data: []byte{0x01}})
+	golden(t, "notification.hex", data)
+	if len(data) != HeaderSize+3 {
+		t.Fatalf("NOTIFICATION is %d octets", len(data))
+	}
+}
+
+func TestNotificationRoundTrip(t *testing.T) {
+	in := Notification{Code: NotifHoldExpired, Subcode: 0, Data: []byte{1, 2}}
+	typ, body, total, err := SplitFrame(AppendNotification(nil, in))
+	if err != nil || typ != TypeNotification {
+		t.Fatalf("SplitFrame: type %d, err %v", typ, err)
+	}
+	if total != HeaderSize+2+len(in.Data) {
+		t.Fatalf("total = %d", total)
+	}
+	out, err := DecodeNotification(body)
+	if err != nil {
+		t.Fatalf("DecodeNotification: %v", err)
+	}
+	if out.Code != in.Code || out.Subcode != in.Subcode || !bytes.Equal(out.Data, in.Data) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	frame := func(mutate func([]byte)) []byte {
+		data := AppendKeepalive(nil)
+		if mutate != nil {
+			mutate(data)
+		}
+		return data
+	}
+	cases := []struct {
+		name    string
+		hdr     []byte
+		subcode uint8
+	}{
+		{"bad marker", frame(func(b []byte) { b[3] = 0x00 }), HeaderNotSynchronized},
+		{"length below header", frame(func(b []byte) { b[16], b[17] = 0, 5 }), HeaderBadLength},
+		{"length above maximum", frame(func(b []byte) { b[16], b[17] = 0xFF, 0xFF }), HeaderBadLength},
+		{"bad type", frame(func(b []byte) { b[18] = 9 }), HeaderBadType},
+		{"type zero", frame(func(b []byte) { b[18] = 0 }), HeaderBadType},
+		{"keepalive with body", frame(func(b []byte) { b[17] = HeaderSize + 1 }), HeaderBadLength},
+		{"open below minimum body", frame(func(b []byte) { b[17], b[18] = HeaderSize+4, TypeOpen }), HeaderBadLength},
+		{"update below minimum body", frame(func(b []byte) { b[17], b[18] = HeaderSize+2, TypeUpdate }), HeaderBadLength},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ParseHeader(tc.hdr)
+			wantMessageErr(t, err, NotifMessageHeader, tc.subcode)
+		})
+	}
+	if _, _, err := ParseHeader(make([]byte, HeaderSize-1)); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("short header: err = %v, want ErrShortFrame", err)
+	}
+	if _, _, _, err := SplitFrame(AppendNotification(nil, Notification{Code: 6})[:HeaderSize+1]); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("short frame: err = %v, want ErrShortFrame", err)
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	for _, in := range []Open{
+		{AS: 64512, HoldTime: 90, BGPID: 0x0a000001, NodeID: 3},
+		{AS: 420_000_000, HoldTime: 0, BGPID: 0xc0a80001, NodeID: 0},
+	} {
+		typ, body, _, err := SplitFrame(AppendOpen(nil, in))
+		if err != nil || typ != TypeOpen {
+			t.Fatalf("SplitFrame: type %d, err %v", typ, err)
+		}
+		out, err := DecodeOpen(body)
+		if err != nil {
+			t.Fatalf("DecodeOpen(%+v): %v", in, err)
+		}
+		if out.AS != in.AS || out.HoldTime != in.HoldTime || out.BGPID != in.BGPID || out.NodeID != in.NodeID {
+			t.Fatalf("round trip: %+v != %+v", out, in)
+		}
+		if !out.FourOctetAS || !out.AddPath || !out.HasNodeID {
+			t.Fatalf("capabilities lost: %+v", out)
+		}
+	}
+}
+
+func TestOpenASTransInHeader(t *testing.T) {
+	// A 4-octet AS travels as AS_TRANS in the 2-octet header field and in
+	// full inside the RFC 6793 capability.
+	body := AppendOpen(nil, Open{AS: 420_000_000, BGPID: 1})[HeaderSize:]
+	if as2 := int(body[1])<<8 | int(body[2]); as2 != ASTrans {
+		t.Fatalf("2-octet AS field = %d, want AS_TRANS %d", as2, ASTrans)
+	}
+}
+
+func TestOpenDecodeErrors(t *testing.T) {
+	good := AppendOpen(nil, Open{AS: 64512, HoldTime: 90, BGPID: 5, NodeID: 1})[HeaderSize:]
+	mutate := func(fn func([]byte)) []byte {
+		b := append([]byte(nil), good...)
+		fn(b)
+		return b
+	}
+	cases := []struct {
+		name    string
+		body    []byte
+		subcode uint8
+	}{
+		{"bad version", mutate(func(b []byte) { b[0] = 3 }), OpenBadVersion},
+		{"hold time one", mutate(func(b []byte) { b[3], b[4] = 0, 1 }), OpenBadHoldTime},
+		{"hold time two", mutate(func(b []byte) { b[3], b[4] = 0, 2 }), OpenBadHoldTime},
+		{"opt length mismatch", mutate(func(b []byte) { b[9]++ }), OpenUnsupportedParam},
+		{"unknown parameter type", mutate(func(b []byte) { b[10] = 1 }), OpenUnsupportedParam},
+		{"truncated parameter header", func() []byte {
+			b := mutate(func(b []byte) { b[9] = 1 })
+			return b[:11]
+		}(), OpenUnsupportedParam},
+		{"capability overruns parameter", mutate(func(b []byte) { b[13] = 30 }), OpenUnsupportedCap},
+		{"bad 4-octet AS cap length", mutate(func(b []byte) { b[13] = 5 }), OpenUnsupportedCap},
+		{"short body", good[:8], HeaderBadLength},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code := uint8(NotifOpen)
+			if tc.subcode == HeaderBadLength {
+				code = NotifMessageHeader
+			}
+			_, err := DecodeOpen(tc.body)
+			wantMessageErr(t, err, code, tc.subcode)
+		})
+	}
+	t.Run("bad version data names ours", func(t *testing.T) {
+		_, err := DecodeOpen(mutate(func(b []byte) { b[0] = 7 }))
+		me := wantMessageErr(t, err, NotifOpen, OpenBadVersion)
+		if !bytes.Equal(me.Data, []byte{0, Version}) {
+			t.Fatalf("Data = %x, want our supported version", me.Data)
+		}
+	})
+}
+
+func TestOpenUnknownCapabilityIgnored(t *testing.T) {
+	// RFC 5492 §4: unknown capabilities must not kill the session. Splice a
+	// private-use capability in front of ours and re-patch the lengths.
+	frame := AppendOpen(nil, Open{AS: 64512, HoldTime: 90, BGPID: 5, NodeID: 1})
+	body := append([]byte(nil), frame[HeaderSize:]...)
+	extra := []byte{200, 2, 0xAA, 0xBB}
+	out := append([]byte(nil), body[:12]...)
+	out = append(out, extra...)
+	out = append(out, body[12:]...)
+	out[9] += byte(len(extra))  // optional parameters length
+	out[11] += byte(len(extra)) // capabilities parameter length
+	o, err := DecodeOpen(out)
+	if err != nil {
+		t.Fatalf("DecodeOpen with unknown capability: %v", err)
+	}
+	if !o.FourOctetAS || !o.AddPath || !o.HasNodeID || o.AS != 64512 {
+		t.Fatalf("known capabilities lost around unknown one: %+v", o)
+	}
+}
+
+func TestMessageErrorString(t *testing.T) {
+	err := updateErr(UpdateMissingWK, "missing well-known attribute 1")
+	want := "bgp4: missing well-known attribute 1 (NOTIFICATION 3/3)"
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestNegotiateHold(t *testing.T) {
+	cases := []struct {
+		local time.Duration
+		peer  uint16
+		want  time.Duration
+	}{
+		{0, 0, 0},
+		{0, 90, 90 * time.Second},
+		{90 * time.Second, 0, 90 * time.Second},
+		{90 * time.Second, 30, 30 * time.Second},
+		{10 * time.Second, 30, 10 * time.Second},
+		{300 * time.Millisecond, 3, 300 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := negotiateHold(tc.local, tc.peer); got != tc.want {
+			t.Fatalf("negotiateHold(%v, %d) = %v, want %v", tc.local, tc.peer, got, tc.want)
+		}
+	}
+}

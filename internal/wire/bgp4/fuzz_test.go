@@ -1,0 +1,58 @@
+package bgp4
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// FuzzBGP4Decode throws arbitrary bytes at the frame splitter and the
+// per-type decoders: no input may panic, and every accepted frame must obey
+// the framing invariants the session reader relies on.
+func FuzzBGP4Decode(f *testing.F) {
+	enc := &UpdateEncoder{LocalID: 1, ClusterID: 1,
+		OriginatorID: func(uint32) (uint32, bool) { return 7, true }}
+	seeds := [][]byte{
+		AppendOpen(nil, Open{AS: 64512, HoldTime: 90, BGPID: 5, NodeID: 2}),
+		AppendKeepalive(nil),
+		AppendNotification(nil, Notification{Code: NotifCease, Subcode: 2, Data: []byte{1}}),
+		enc.Append(nil, &wire.Update{
+			Withdrawn: []wire.WithdrawnRoute{{Prefix: 1, PathID: 2}},
+			Announced: []wire.RouteRecord{rec(0, 1), rec(70000, 3)},
+		}),
+		enc.Append(nil, &wire.Update{}),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+		if len(s) > HeaderSize {
+			f.Add(s[:HeaderSize+1]) // truncated body
+		}
+		corrupt := append([]byte(nil), s...)
+		corrupt[len(corrupt)-1] ^= 0xFF
+		f.Add(corrupt)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, body, total, err := SplitFrame(data)
+		if err != nil {
+			return
+		}
+		if total < HeaderSize || total > MaxMessageSize || total > len(data) {
+			t.Fatalf("accepted frame with total %d of %d input octets", total, len(data))
+		}
+		if len(body) != total-HeaderSize {
+			t.Fatalf("body %d octets for total %d", len(body), total)
+		}
+		switch typ {
+		case TypeOpen:
+			DecodeOpen(body)
+		case TypeUpdate:
+			if fr, err := DecodeUpdate(body); err == nil {
+				// An accepted frame re-encodes within the size ceiling.
+				u := wire.Update{Withdrawn: fr.Withdrawn, Announced: fr.Announced}
+				enc.Append(nil, &u)
+			}
+		case TypeNotification:
+			DecodeNotification(body)
+		}
+	})
+}

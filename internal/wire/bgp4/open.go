@@ -1,0 +1,130 @@
+package bgp4
+
+import "encoding/binary"
+
+// Open is a decoded BGP-4 OPEN message plus the capabilities this
+// implementation understands. AS is the peer's 4-octet AS number (from the
+// RFC 6793 capability when present, else the 2-octet header field).
+type Open struct {
+	AS       uint32
+	HoldTime uint16 // seconds; 0 disables keepalives and the hold timer
+	BGPID    uint32
+
+	FourOctetAS bool // RFC 6793 capability seen
+	AddPath     bool // RFC 7911 capability seen (AFI 1 / SAFI 1, send+receive)
+	NodeID      uint32
+	HasNodeID   bool // experimental CapNodeID seen
+}
+
+// AppendOpen frames one OPEN onto buf. All three capabilities this
+// implementation speaks are always advertised: 4-octet AS, ADD-PATH for
+// IPv4 unicast in both directions, and the experimental node-ID.
+func AppendOpen(buf []byte, o Open) []byte {
+	// Capabilities value: 65(len 4, AS) + 69(len 4, AFI/SAFI/SendReceive) +
+	// 128(len 4, node index) = 3*(2+4) = 18 octets, wrapped in one
+	// optional parameter of type 2.
+	const capsLen = 18
+	const optLen = 2 + capsLen
+	buf = appendHeader(buf, TypeOpen, 10+optLen)
+	buf = append(buf, Version)
+	as2 := o.AS
+	if as2 > 0xFFFF {
+		as2 = ASTrans
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(as2))
+	buf = binary.BigEndian.AppendUint16(buf, o.HoldTime)
+	buf = binary.BigEndian.AppendUint32(buf, o.BGPID)
+	buf = append(buf, optLen, capOptParam, capsLen)
+	buf = append(buf, CapFourOctetAS, 4)
+	buf = binary.BigEndian.AppendUint32(buf, o.AS)
+	buf = append(buf, CapAddPath, 4, 0, 1, 1, 3) // AFI 1, SAFI 1, Send/Receive 3
+	buf = append(buf, CapNodeID, 4)
+	return binary.BigEndian.AppendUint32(buf, o.NodeID)
+}
+
+// DecodeOpen parses an OPEN body. Unknown capabilities are ignored per
+// RFC 5492; unknown optional parameter types are rejected with
+// OpenUnsupportedParam.
+func DecodeOpen(body []byte) (Open, error) {
+	if len(body) < 10 {
+		return Open{}, headerErr(HeaderBadLength, nil, "OPEN body %d octets", len(body))
+	}
+	if v := body[0]; v != Version {
+		// Data carries the largest version we support (RFC 4271 §6.2).
+		return Open{}, openErr(OpenBadVersion, []byte{0, Version}, "unsupported BGP version %d", v)
+	}
+	o := Open{
+		AS:       uint32(binary.BigEndian.Uint16(body[1:3])),
+		HoldTime: binary.BigEndian.Uint16(body[3:5]),
+		BGPID:    binary.BigEndian.Uint32(body[5:9]),
+	}
+	if o.HoldTime == 1 || o.HoldTime == 2 {
+		return Open{}, openErr(OpenBadHoldTime, nil, "unacceptable hold time %d", o.HoldTime)
+	}
+	optLen := int(body[9])
+	opts := body[10:]
+	if optLen != len(opts) {
+		return Open{}, openErr(OpenUnsupportedParam, nil, "optional parameter length %d does not match body (%d octets left)", optLen, len(opts))
+	}
+	for len(opts) > 0 {
+		if len(opts) < 2 {
+			return Open{}, openErr(OpenUnsupportedParam, nil, "truncated optional parameter header")
+		}
+		ptype, plen := opts[0], int(opts[1])
+		if len(opts) < 2+plen {
+			return Open{}, openErr(OpenUnsupportedParam, nil, "optional parameter %d overruns body", ptype)
+		}
+		val := opts[2 : 2+plen]
+		opts = opts[2+plen:]
+		if ptype != capOptParam {
+			return Open{}, openErr(OpenUnsupportedParam, []byte{ptype}, "unsupported optional parameter type %d", ptype)
+		}
+		if err := decodeCaps(&o, val); err != nil {
+			return Open{}, err
+		}
+	}
+	return o, nil
+}
+
+func decodeCaps(o *Open, caps []byte) error {
+	for len(caps) > 0 {
+		if len(caps) < 2 {
+			return openErr(OpenUnsupportedCap, nil, "truncated capability header")
+		}
+		code, clen := caps[0], int(caps[1])
+		if len(caps) < 2+clen {
+			return openErr(OpenUnsupportedCap, []byte{code}, "capability %d overruns parameter", code)
+		}
+		val := caps[2 : 2+clen]
+		caps = caps[2+clen:]
+		switch code {
+		case CapFourOctetAS:
+			if clen != 4 {
+				return openErr(OpenUnsupportedCap, []byte{code}, "4-octet AS capability length %d", clen)
+			}
+			o.AS = binary.BigEndian.Uint32(val)
+			o.FourOctetAS = true
+		case CapAddPath:
+			// One or more <AFI(2), SAFI(1), Send/Receive(1)> tuples; we
+			// only require IPv4 unicast both-directions among them.
+			if clen == 0 || clen%4 != 0 {
+				return openErr(OpenUnsupportedCap, []byte{code}, "ADD-PATH capability length %d", clen)
+			}
+			for i := 0; i+4 <= clen; i += 4 {
+				afi := binary.BigEndian.Uint16(val[i : i+2])
+				if afi == 1 && val[i+2] == 1 && val[i+3] == 3 {
+					o.AddPath = true
+				}
+			}
+		case CapNodeID:
+			if clen != 4 {
+				return openErr(OpenUnsupportedCap, []byte{code}, "node-ID capability length %d", clen)
+			}
+			o.NodeID = binary.BigEndian.Uint32(val)
+			o.HasNodeID = true
+		default:
+			// Unknown capabilities are ignored (RFC 5492 §4).
+		}
+	}
+	return nil
+}

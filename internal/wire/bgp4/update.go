@@ -1,0 +1,469 @@
+package bgp4
+
+import (
+	"encoding/binary"
+
+	"repro/internal/wire"
+)
+
+// The model keys routes by a small integer prefix index. On the BGP-4 wire
+// that index becomes a real IPv4 prefix: indices below 2^16 map to
+// 10.H.L.0/24 (H.L the big-endian index), anything larger is carried as a
+// literal /32. Both NLRI and withdrawn entries are prefixed by the 4-octet
+// path identifier of RFC 7911.
+
+func prefixEntrySize(p uint32) int {
+	if p < 1<<16 {
+		return 4 + 1 + 3 // path ID + prefix length + 3 significant /24 octets
+	}
+	return 4 + 1 + 4
+}
+
+func appendPrefixEntry(buf []byte, prefix, pathID uint32) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, pathID)
+	if prefix < 1<<16 {
+		return append(buf, 24, 10, byte(prefix>>8), byte(prefix))
+	}
+	buf = append(buf, 32)
+	return binary.BigEndian.AppendUint32(buf, prefix)
+}
+
+func decodePrefixEntry(b []byte) (prefix, pathID uint32, n int, err error) {
+	if len(b) < 5 {
+		return 0, 0, 0, updateErr(UpdateInvalidNetwork, "truncated NLRI entry (%d octets)", len(b))
+	}
+	pathID = binary.BigEndian.Uint32(b)
+	switch plen := b[4]; plen {
+	case 24:
+		if len(b) < 8 {
+			return 0, 0, 0, updateErr(UpdateInvalidNetwork, "truncated /24 NLRI entry")
+		}
+		if b[5] != 10 {
+			return 0, 0, 0, updateErr(UpdateInvalidNetwork, "/24 NLRI outside 10.0.0.0/8 (first octet %d)", b[5])
+		}
+		return uint32(b[6])<<8 | uint32(b[7]), pathID, 8, nil
+	case 32:
+		if len(b) < 9 {
+			return 0, 0, 0, updateErr(UpdateInvalidNetwork, "truncated /32 NLRI entry")
+		}
+		return binary.BigEndian.Uint32(b[5:9]), pathID, 9, nil
+	default:
+		return 0, 0, 0, updateErr(UpdateInvalidNetwork, "unsupported prefix length /%d", plen)
+	}
+}
+
+// UpdateEncoder turns one logical wire.Update into one or more BGP-4
+// UPDATE frames. A BGP-4 UPDATE carries a single path-attribute set for
+// all its NLRI, so announced records are split into maximal consecutive
+// runs with equal attributes — consecutive, not globally grouped, so the
+// record order (which the router core's event stream depends on) survives
+// the round trip. Every frame but the last sets the continuation flag in
+// EXIT_META; the session reader reassembles the chain.
+type UpdateEncoder struct {
+	LocalID   uint32 // own BGP identifier
+	ClusterID uint32 // RFC 4456 cluster ID appended when reflecting
+	// OriginatorID resolves a record's exit point to the BGP identifier
+	// of the router that injected the route, when known. Routes whose
+	// originator is another router get ORIGINATOR_ID + CLUSTER_LIST.
+	OriginatorID func(exitPoint uint32) (uint32, bool)
+}
+
+// sameAttrs reports whether two records share one BGP-4 attribute set
+// (everything except Prefix and PathID, which live in the NLRI).
+func sameAttrs(a, b *wire.RouteRecord) bool {
+	return a.LocalPref == b.LocalPref && a.ASPathLen == b.ASPathLen &&
+		a.NextAS == b.NextAS && a.MED == b.MED &&
+		a.ExitPoint == b.ExitPoint && a.ExitCost == b.ExitCost &&
+		a.NextHopID == b.NextHopID && a.TieBreak == b.TieBreak
+}
+
+// asPathSize returns the encoded AS_PATH value length plus its attribute
+// header length for a path of n hops (AS_SEQUENCE segments of <=255
+// 4-octet ASes; an empty path is a zero-length well-known attribute).
+func asPathSize(n int) (valLen, hdrLen int) {
+	if n == 0 {
+		return 0, 3
+	}
+	segs := (n + 254) / 255
+	valLen = 2*segs + 4*n
+	hdrLen = 3
+	if valLen > 255 {
+		hdrLen = 4
+	}
+	return valLen, hdrLen
+}
+
+const (
+	originSize    = 4 // flags + type + len + 1 value octet
+	fixed4Size    = 7 // flags + type + len + 4 value octets
+	reflectedSize = 2 * fixed4Size
+	exitMetaSize  = 3 + exitMetaLen
+)
+
+func (e *UpdateEncoder) attrsSize(rec *wire.RouteRecord, reflected bool) int {
+	asVal, asHdr := asPathSize(int(rec.ASPathLen))
+	n := originSize + asHdr + asVal + 3*fixed4Size + exitMetaSize
+	if reflected {
+		n += reflectedSize
+	}
+	return n
+}
+
+func (e *UpdateEncoder) reflectedOriginator(rec *wire.RouteRecord) (uint32, bool) {
+	if e.OriginatorID == nil {
+		return 0, false
+	}
+	orig, ok := e.OriginatorID(rec.ExitPoint)
+	if !ok || orig == e.LocalID {
+		return 0, false
+	}
+	return orig, true
+}
+
+func (e *UpdateEncoder) appendAttrs(buf []byte, rec *wire.RouteRecord, originator uint32, reflected, continued bool) []byte {
+	buf = append(buf, flagTransitive, AttrOrigin, 1, 0) // ORIGIN IGP
+	asVal, _ := asPathSize(int(rec.ASPathLen))
+	if asVal > 255 {
+		buf = append(buf, flagTransitive|flagExtended, AttrASPath)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(asVal))
+	} else {
+		buf = append(buf, flagTransitive, AttrASPath, byte(asVal))
+	}
+	for left := int(rec.ASPathLen); left > 0; {
+		n := left
+		if n > 255 {
+			n = 255
+		}
+		buf = append(buf, 2, byte(n)) // AS_SEQUENCE of n ASes
+		for i := 0; i < n; i++ {
+			buf = binary.BigEndian.AppendUint32(buf, rec.NextAS)
+		}
+		left -= n
+	}
+	buf = append(buf, flagTransitive, AttrNextHop, 4)
+	buf = binary.BigEndian.AppendUint32(buf, rec.NextHopID)
+	buf = append(buf, flagOptional, AttrMED, 4)
+	buf = binary.BigEndian.AppendUint32(buf, rec.MED)
+	buf = append(buf, flagTransitive, AttrLocalPref, 4)
+	buf = binary.BigEndian.AppendUint32(buf, rec.LocalPref)
+	if reflected {
+		buf = append(buf, flagOptional, AttrOriginatorID, 4)
+		buf = binary.BigEndian.AppendUint32(buf, originator)
+		buf = append(buf, flagOptional, AttrClusterList, 4)
+		buf = binary.BigEndian.AppendUint32(buf, e.ClusterID)
+	}
+	return appendExitMeta(buf, rec, continued)
+}
+
+func appendExitMeta(buf []byte, rec *wire.RouteRecord, continued bool) []byte {
+	buf = append(buf, flagOptional, AttrExitMeta, exitMetaLen)
+	var flags byte
+	if continued {
+		flags |= metaContinued
+	}
+	buf = append(buf, flags)
+	buf = binary.BigEndian.AppendUint32(buf, rec.NextAS)
+	buf = binary.BigEndian.AppendUint32(buf, rec.ExitPoint)
+	buf = binary.BigEndian.AppendUint64(buf, rec.ExitCost)
+	return binary.BigEndian.AppendUint32(buf, uint32(rec.TieBreak))
+}
+
+// frameSpan is one planned UPDATE frame: a slice of the logical update's
+// withdrawn list or of one attribute-equal announced run (never both, to
+// keep the planner simple; real speakers do the same under pressure).
+type frameSpan struct {
+	wFrom, wTo int
+	aFrom, aTo int
+}
+
+// Append frames the logical update u onto buf and returns the extended
+// slice. At least one frame is always emitted, so an empty update still
+// crosses the wire (the speakers' quiescence ledger counts messages).
+func (e *UpdateEncoder) Append(buf []byte, u *wire.Update) []byte {
+	var spans []frameSpan
+	// Withdrawals first, packed greedily. Reserve room for the
+	// continuation EXIT_META every withdrawal-only frame may need.
+	wBudget := maxBodySize - 4 - exitMetaSize
+	for i := 0; i < len(u.Withdrawn); {
+		size, j := 0, i
+		for j < len(u.Withdrawn) {
+			es := prefixEntrySize(u.Withdrawn[j].Prefix)
+			if size+es > wBudget {
+				break
+			}
+			size += es
+			j++
+		}
+		spans = append(spans, frameSpan{wFrom: i, wTo: j})
+		i = j
+	}
+	// Then one frame per attribute-equal announced run, splitting a run
+	// when its NLRI overruns the frame budget.
+	for i := 0; i < len(u.Announced); {
+		run := i + 1
+		for run < len(u.Announced) && sameAttrs(&u.Announced[i], &u.Announced[run]) {
+			run++
+		}
+		_, reflected := e.reflectedOriginator(&u.Announced[i])
+		nlriBudget := maxBodySize - 4 - e.attrsSize(&u.Announced[i], reflected)
+		for i < run {
+			size, j := 0, i
+			for j < run {
+				es := prefixEntrySize(u.Announced[j].Prefix)
+				if size+es > nlriBudget {
+					break
+				}
+				size += es
+				j++
+			}
+			spans = append(spans, frameSpan{wFrom: len(u.Withdrawn), aFrom: i, aTo: j})
+			i = j
+		}
+	}
+	if len(spans) == 0 {
+		spans = append(spans, frameSpan{})
+	}
+	for i, sp := range spans {
+		buf = e.appendFrame(buf, u, sp, i != len(spans)-1)
+	}
+	return buf
+}
+
+func (e *UpdateEncoder) appendFrame(buf []byte, u *wire.Update, sp frameSpan, continued bool) []byte {
+	wSize := 0
+	for i := sp.wFrom; i < sp.wTo; i++ {
+		wSize += prefixEntrySize(u.Withdrawn[i].Prefix)
+	}
+	nlriSize, attrSize := 0, 0
+	var rec *wire.RouteRecord
+	var originator uint32
+	var reflected bool
+	if sp.aTo > sp.aFrom {
+		rec = &u.Announced[sp.aFrom]
+		originator, reflected = e.reflectedOriginator(rec)
+		attrSize = e.attrsSize(rec, reflected)
+		for i := sp.aFrom; i < sp.aTo; i++ {
+			nlriSize += prefixEntrySize(u.Announced[i].Prefix)
+		}
+	} else if continued {
+		attrSize = exitMetaSize
+	}
+	buf = appendHeader(buf, TypeUpdate, 4+wSize+attrSize+nlriSize)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(wSize))
+	for i := sp.wFrom; i < sp.wTo; i++ {
+		buf = appendPrefixEntry(buf, u.Withdrawn[i].Prefix, u.Withdrawn[i].PathID)
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(attrSize))
+	if rec != nil {
+		buf = e.appendAttrs(buf, rec, originator, reflected, continued)
+	} else if continued {
+		// A withdrawal-only frame with more frames behind it carries a
+		// zero-valued EXIT_META purely for the continuation flag.
+		buf = appendExitMeta(buf, &wire.RouteRecord{}, continued)
+	}
+	for i := sp.aFrom; i < sp.aTo; i++ {
+		buf = appendPrefixEntry(buf, u.Announced[i].Prefix, u.Announced[i].PathID)
+	}
+	return buf
+}
+
+// UpdateFrame is one decoded BGP-4 UPDATE message. Continued links it to
+// the following frame of the same logical update; OriginatorID and
+// ClusterList expose the RFC 4456 attributes so the session layer can run
+// reflection loop detection before records reach the router core.
+type UpdateFrame struct {
+	Withdrawn []wire.WithdrawnRoute
+	Announced []wire.RouteRecord
+
+	OriginatorID  uint32
+	HasOriginator bool
+	ClusterList   []uint32
+	Continued     bool
+}
+
+// DecodeUpdate parses one UPDATE body. Structural errors return a
+// *MessageError carrying the RFC 4271 §6.3 code/subcode the receiver
+// should put in its NOTIFICATION.
+func DecodeUpdate(body []byte) (UpdateFrame, error) {
+	var f UpdateFrame
+	if len(body) < 4 {
+		return f, updateErr(UpdateMalformedAttrs, "UPDATE body %d octets", len(body))
+	}
+	wLen := int(binary.BigEndian.Uint16(body[:2]))
+	if 2+wLen+2 > len(body) {
+		return f, updateErr(UpdateMalformedAttrs, "withdrawn routes length %d overruns body", wLen)
+	}
+	for w := body[2 : 2+wLen]; len(w) > 0; {
+		prefix, pathID, n, err := decodePrefixEntry(w)
+		if err != nil {
+			return f, err
+		}
+		f.Withdrawn = append(f.Withdrawn, wire.WithdrawnRoute{Prefix: prefix, PathID: pathID})
+		w = w[n:]
+	}
+	rest := body[2+wLen:]
+	aLen := int(binary.BigEndian.Uint16(rest[:2]))
+	if 2+aLen > len(rest) {
+		return f, updateErr(UpdateMalformedAttrs, "path attribute length %d overruns body", aLen)
+	}
+	attrs, nlri := rest[2:2+aLen], rest[2+aLen:]
+
+	var seen [256]bool
+	var hasOrigin, hasASPath, hasNextHop, hasLocalPref, hasMeta bool
+	var asCount int
+	var firstAS, nextHop, med, localPref uint32
+	var meta struct {
+		nextAS, exitPoint uint32
+		exitCost          uint64
+		tieBreak          int32
+	}
+	for len(attrs) > 0 {
+		if len(attrs) < 3 {
+			return f, updateErr(UpdateMalformedAttrs, "truncated attribute header")
+		}
+		flags, typ := attrs[0], attrs[1]
+		var vLen, hdr int
+		if flags&flagExtended != 0 {
+			if len(attrs) < 4 {
+				return f, updateErr(UpdateMalformedAttrs, "truncated extended-length attribute header")
+			}
+			vLen, hdr = int(binary.BigEndian.Uint16(attrs[2:4])), 4
+		} else {
+			vLen, hdr = int(attrs[2]), 3
+		}
+		if hdr+vLen > len(attrs) {
+			return f, updateErr(UpdateAttrLengthError, "attribute %d value (%d octets) overruns attribute list", typ, vLen)
+		}
+		val := attrs[hdr : hdr+vLen]
+		attrs = attrs[hdr+vLen:]
+		if seen[typ] {
+			return f, updateErr(UpdateMalformedAttrs, "duplicate attribute %d", typ)
+		}
+		seen[typ] = true
+		switch typ {
+		case AttrOrigin:
+			if vLen != 1 {
+				return f, updateErr(UpdateAttrLengthError, "ORIGIN length %d", vLen)
+			}
+			if val[0] > 2 {
+				return f, updateErr(UpdateInvalidOrigin, "ORIGIN value %d", val[0])
+			}
+			hasOrigin = true
+		case AttrASPath:
+			for seg := val; len(seg) > 0; {
+				if len(seg) < 2 {
+					return f, updateErr(UpdateMalformedASPath, "truncated AS_PATH segment header")
+				}
+				segType, n := seg[0], int(seg[1])
+				if segType != 1 && segType != 2 {
+					return f, updateErr(UpdateMalformedASPath, "AS_PATH segment type %d", segType)
+				}
+				if len(seg) < 2+4*n {
+					return f, updateErr(UpdateMalformedASPath, "AS_PATH segment of %d ASes overruns attribute", n)
+				}
+				if n > 0 && asCount == 0 {
+					firstAS = binary.BigEndian.Uint32(seg[2:6])
+				}
+				asCount += n
+				seg = seg[2+4*n:]
+			}
+			hasASPath = true
+		case AttrNextHop:
+			if vLen != 4 {
+				return f, updateErr(UpdateInvalidNextHop, "NEXT_HOP length %d", vLen)
+			}
+			nextHop = binary.BigEndian.Uint32(val)
+			hasNextHop = true
+		case AttrMED:
+			if vLen != 4 {
+				return f, updateErr(UpdateAttrLengthError, "MULTI_EXIT_DISC length %d", vLen)
+			}
+			med = binary.BigEndian.Uint32(val)
+		case AttrLocalPref:
+			if vLen != 4 {
+				return f, updateErr(UpdateAttrLengthError, "LOCAL_PREF length %d", vLen)
+			}
+			localPref = binary.BigEndian.Uint32(val)
+			hasLocalPref = true
+		case AttrOriginatorID:
+			if vLen != 4 {
+				return f, updateErr(UpdateAttrLengthError, "ORIGINATOR_ID length %d", vLen)
+			}
+			f.OriginatorID = binary.BigEndian.Uint32(val)
+			f.HasOriginator = true
+		case AttrClusterList:
+			if vLen == 0 || vLen%4 != 0 {
+				return f, updateErr(UpdateAttrLengthError, "CLUSTER_LIST length %d", vLen)
+			}
+			for i := 0; i < vLen; i += 4 {
+				f.ClusterList = append(f.ClusterList, binary.BigEndian.Uint32(val[i:i+4]))
+			}
+		case AttrExitMeta:
+			if vLen != exitMetaLen {
+				return f, updateErr(UpdateOptAttrError, "EXIT_META length %d", vLen)
+			}
+			f.Continued = val[0]&metaContinued != 0
+			meta.nextAS = binary.BigEndian.Uint32(val[1:5])
+			meta.exitPoint = binary.BigEndian.Uint32(val[5:9])
+			meta.exitCost = binary.BigEndian.Uint64(val[9:17])
+			meta.tieBreak = int32(binary.BigEndian.Uint32(val[17:21]))
+			hasMeta = true
+		default:
+			if flags&flagOptional == 0 {
+				return f, &MessageError{Code: NotifUpdate, Subcode: UpdateUnrecognizedWK, Data: []byte{typ},
+					Reason: "unrecognized well-known attribute " + itoa(typ)}
+			}
+			// Unknown optional attributes are ignored.
+		}
+	}
+
+	if len(nlri) > 0 {
+		for _, missing := range [...]struct {
+			ok  bool
+			typ byte
+		}{{hasOrigin, AttrOrigin}, {hasASPath, AttrASPath}, {hasNextHop, AttrNextHop}} {
+			if !missing.ok {
+				return f, &MessageError{Code: NotifUpdate, Subcode: UpdateMissingWK, Data: []byte{missing.typ},
+					Reason: "missing well-known attribute " + itoa(missing.typ)}
+			}
+		}
+	}
+	rec := wire.RouteRecord{
+		LocalPref: 100,
+		ASPathLen: uint16(asCount),
+		NextAS:    firstAS,
+		MED:       med,
+		NextHopID: nextHop,
+		TieBreak:  -1,
+	}
+	if hasLocalPref {
+		rec.LocalPref = localPref
+	}
+	if hasMeta {
+		rec.NextAS = meta.nextAS
+		rec.ExitPoint = meta.exitPoint
+		rec.ExitCost = meta.exitCost
+		rec.TieBreak = meta.tieBreak
+	}
+	for len(nlri) > 0 {
+		prefix, pathID, n, err := decodePrefixEntry(nlri)
+		if err != nil {
+			return f, err
+		}
+		r := rec
+		r.Prefix, r.PathID = prefix, pathID
+		f.Announced = append(f.Announced, r)
+		nlri = nlri[n:]
+	}
+	return f, nil
+}
+
+func itoa(b byte) string {
+	if b >= 100 {
+		return string([]byte{'0' + b/100, '0' + b/10%10, '0' + b%10})
+	}
+	if b >= 10 {
+		return string([]byte{'0' + b/10, '0' + b%10})
+	}
+	return string([]byte{'0' + b})
+}

@@ -1,0 +1,284 @@
+package bgp4
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// decodeChain splits buf into frames, decodes each and reassembles the
+// logical update the way the session reader does. It returns the logical
+// update and the number of frames it rode on.
+func decodeChain(t *testing.T, buf []byte) (wire.Update, int) {
+	t.Helper()
+	var u wire.Update
+	frames := 0
+	for len(buf) > 0 {
+		typ, body, total, err := SplitFrame(buf)
+		if err != nil {
+			t.Fatalf("frame %d: SplitFrame: %v", frames, err)
+		}
+		if typ != TypeUpdate {
+			t.Fatalf("frame %d: type %d, want UPDATE", frames, typ)
+		}
+		f, err := DecodeUpdate(body)
+		if err != nil {
+			t.Fatalf("frame %d: DecodeUpdate: %v", frames, err)
+		}
+		u.Withdrawn = append(u.Withdrawn, f.Withdrawn...)
+		u.Announced = append(u.Announced, f.Announced...)
+		frames++
+		buf = buf[total:]
+		if f.Continued != (len(buf) > 0) {
+			t.Fatalf("frame %d: continuation flag %v with %d octets left", frames-1, f.Continued, len(buf))
+		}
+	}
+	return u, frames
+}
+
+func rec(prefix, pathID uint32) wire.RouteRecord {
+	return wire.RouteRecord{
+		Prefix: prefix, PathID: pathID, LocalPref: 100, ASPathLen: 2,
+		NextAS: 7, MED: 5, ExitPoint: 3, ExitCost: 11, NextHopID: 2001, TieBreak: -1,
+	}
+}
+
+func sameUpdate(t *testing.T, got, want wire.Update) {
+	t.Helper()
+	if len(got.Withdrawn)+len(want.Withdrawn) > 0 && !reflect.DeepEqual(got.Withdrawn, want.Withdrawn) {
+		t.Fatalf("withdrawn:\n got %+v\nwant %+v", got.Withdrawn, want.Withdrawn)
+	}
+	if len(got.Announced)+len(want.Announced) > 0 && !reflect.DeepEqual(got.Announced, want.Announced) {
+		t.Fatalf("announced:\n got %+v\nwant %+v", got.Announced, want.Announced)
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	enc := &UpdateEncoder{LocalID: 0x0a000001, ClusterID: 0x0a000001}
+	other := rec(2, 9)
+	other.LocalPref = 200
+	other.TieBreak = 4
+	big := rec(1<<20, 4) // carried as a literal /32
+	long := rec(3, 5)
+	long.ASPathLen = 300 // two AS_SEQUENCE segments, extended-length attribute
+	zero := rec(4, 6)
+	zero.ASPathLen, zero.NextAS = 0, 0 // empty AS_PATH
+
+	cases := []struct {
+		name       string
+		u          wire.Update
+		wantFrames int
+	}{
+		{"empty", wire.Update{}, 1},
+		{"withdrawal only", wire.Update{Withdrawn: []wire.WithdrawnRoute{{Prefix: 1, PathID: 2}, {Prefix: 70000, PathID: 3}}}, 1},
+		{"single run", wire.Update{Announced: []wire.RouteRecord{rec(0, 1), rec(1, 2), rec(5, 3)}}, 1},
+		{"two runs", wire.Update{Announced: []wire.RouteRecord{rec(0, 1), other}}, 2},
+		{"alternating attrs keep order", wire.Update{Announced: []wire.RouteRecord{rec(0, 1), other, rec(1, 3)}}, 3},
+		{"withdrawals and announcements", wire.Update{
+			Withdrawn: []wire.WithdrawnRoute{{Prefix: 0, PathID: 1}},
+			Announced: []wire.RouteRecord{rec(0, 2), rec(1, 3)},
+		}, 2},
+		{"wide prefix", wire.Update{Announced: []wire.RouteRecord{big}}, 1},
+		{"long AS path", wire.Update{Announced: []wire.RouteRecord{long}}, 1},
+		{"empty AS path", wire.Update{Announced: []wire.RouteRecord{zero}}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := enc.Append(nil, &tc.u)
+			got, frames := decodeChain(t, buf)
+			if frames != tc.wantFrames {
+				t.Fatalf("rode %d frames, want %d", frames, tc.wantFrames)
+			}
+			sameUpdate(t, got, tc.u)
+		})
+	}
+}
+
+func TestUpdateSplitsOversizedRun(t *testing.T) {
+	// One attribute-equal run whose NLRI cannot fit a single 4096-octet
+	// message must split across frames and reassemble losslessly.
+	enc := &UpdateEncoder{LocalID: 1, ClusterID: 1}
+	var u wire.Update
+	for i := 0; i < 1100; i++ {
+		u.Announced = append(u.Announced, rec(uint32(i), uint32(i+1)))
+	}
+	buf := enc.Append(nil, &u)
+	got, frames := decodeChain(t, buf)
+	if frames < 3 {
+		t.Fatalf("1100 records rode %d frames, want a split", frames)
+	}
+	sameUpdate(t, got, u)
+}
+
+func TestUpdateSplitsOversizedWithdrawals(t *testing.T) {
+	enc := &UpdateEncoder{LocalID: 1, ClusterID: 1}
+	var u wire.Update
+	for i := 0; i < 600; i++ {
+		u.Withdrawn = append(u.Withdrawn, wire.WithdrawnRoute{Prefix: uint32(i), PathID: 1})
+	}
+	buf := enc.Append(nil, &u)
+	// Every frame must respect the RFC 4271 size ceiling.
+	for rest := buf; len(rest) > 0; {
+		_, _, total, err := SplitFrame(rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total > MaxMessageSize {
+			t.Fatalf("frame of %d octets exceeds the 4096 ceiling", total)
+		}
+		rest = rest[total:]
+	}
+	got, frames := decodeChain(t, buf)
+	if frames < 2 {
+		t.Fatalf("600 withdrawals rode %d frames, want a split", frames)
+	}
+	sameUpdate(t, got, u)
+}
+
+func TestUpdateReflectionAttributes(t *testing.T) {
+	// A route originated elsewhere gains ORIGINATOR_ID + CLUSTER_LIST; a
+	// locally originated one must not.
+	enc := &UpdateEncoder{
+		LocalID:   0x0a000001,
+		ClusterID: 0x0a000001,
+		OriginatorID: func(exit uint32) (uint32, bool) {
+			if exit == 3 {
+				return 0x0a000099, true // injected by another router
+			}
+			return 0x0a000001, true // injected by us
+		},
+	}
+	reflected := rec(0, 1) // ExitPoint 3
+	local := rec(1, 2)
+	local.ExitPoint = 4
+
+	buf := enc.Append(nil, &wire.Update{Announced: []wire.RouteRecord{reflected}})
+	_, body, _, err := SplitFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := DecodeUpdate(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.HasOriginator || f.OriginatorID != 0x0a000099 {
+		t.Fatalf("ORIGINATOR_ID = %x (present %v), want 0a000099", f.OriginatorID, f.HasOriginator)
+	}
+	if len(f.ClusterList) != 1 || f.ClusterList[0] != enc.ClusterID {
+		t.Fatalf("CLUSTER_LIST = %x, want [%x]", f.ClusterList, enc.ClusterID)
+	}
+	if !reflect.DeepEqual(f.Announced, []wire.RouteRecord{reflected}) {
+		t.Fatalf("reflected record mangled: %+v", f.Announced)
+	}
+
+	buf = enc.Append(nil, &wire.Update{Announced: []wire.RouteRecord{local}})
+	_, body, _, err = SplitFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err = DecodeUpdate(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.HasOriginator || len(f.ClusterList) != 0 {
+		t.Fatalf("locally originated route grew reflection attributes: %+v", f)
+	}
+	golden(t, "update_reflected.hex", enc.Append(nil, &wire.Update{
+		Withdrawn: []wire.WithdrawnRoute{{Prefix: 2, PathID: 7}},
+		Announced: []wire.RouteRecord{reflected},
+	}))
+}
+
+// attr builds one path attribute.
+func attr(flags, typ byte, val ...byte) []byte {
+	return append([]byte{flags, typ, byte(len(val))}, val...)
+}
+
+// body assembles an UPDATE body from raw parts.
+func body(withdrawn, attrs, nlri []byte) []byte {
+	b := binary.BigEndian.AppendUint16(nil, uint16(len(withdrawn)))
+	b = append(b, withdrawn...)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(attrs)))
+	b = append(b, attrs...)
+	return append(b, nlri...)
+}
+
+func TestUpdateDecodeErrors(t *testing.T) {
+	nlri := []byte{0, 0, 0, 1, 24, 10, 0, 0} // path 1, 10.0.0.0/24
+	mandatory := func(extra ...[]byte) []byte {
+		b := attr(flagTransitive, AttrOrigin, 0)
+		b = append(b, attr(flagTransitive, AttrASPath)...)
+		b = append(b, attr(flagTransitive, AttrNextHop, 0, 0, 0, 1)...)
+		for _, e := range extra {
+			b = append(b, e...)
+		}
+		return b
+	}
+	cases := []struct {
+		name    string
+		body    []byte
+		subcode uint8
+	}{
+		{"short body", []byte{0, 0, 0}, UpdateMalformedAttrs},
+		{"withdrawn overruns body", []byte{0, 9, 0, 0}, UpdateMalformedAttrs},
+		{"attrs overrun body", func() []byte {
+			b := body(nil, mandatory(), nil)
+			binary.BigEndian.PutUint16(b[2:4], 200)
+			return b
+		}(), UpdateMalformedAttrs},
+		{"truncated attribute header", body(nil, []byte{flagTransitive, AttrOrigin}, nil), UpdateMalformedAttrs},
+		{"attribute value overruns list", body(nil, []byte{flagTransitive, AttrOrigin, 9, 0}, nil), UpdateAttrLengthError},
+		{"duplicate attribute", body(nil, append(attr(flagTransitive, AttrOrigin, 0), attr(flagTransitive, AttrOrigin, 0)...), nil), UpdateMalformedAttrs},
+		{"origin bad length", body(nil, attr(flagTransitive, AttrOrigin, 0, 0), nil), UpdateAttrLengthError},
+		{"origin bad value", body(nil, attr(flagTransitive, AttrOrigin, 9), nil), UpdateInvalidOrigin},
+		{"as_path bad segment type", body(nil, attr(flagTransitive, AttrASPath, 7, 0), nil), UpdateMalformedASPath},
+		{"as_path segment overrun", body(nil, attr(flagTransitive, AttrASPath, 2, 3, 0, 0, 0, 1), nil), UpdateMalformedASPath},
+		{"next_hop bad length", body(nil, attr(flagTransitive, AttrNextHop, 1, 2), nil), UpdateInvalidNextHop},
+		{"med bad length", body(nil, attr(flagOptional, AttrMED, 1), nil), UpdateAttrLengthError},
+		{"local_pref bad length", body(nil, attr(flagTransitive, AttrLocalPref, 1, 2, 3), nil), UpdateAttrLengthError},
+		{"originator_id bad length", body(nil, attr(flagOptional, AttrOriginatorID, 1), nil), UpdateAttrLengthError},
+		{"cluster_list ragged length", body(nil, attr(flagOptional, AttrClusterList, 1, 2, 3), nil), UpdateAttrLengthError},
+		{"exit_meta bad length", body(nil, attr(flagOptional, AttrExitMeta, 1), nil), UpdateOptAttrError},
+		{"unrecognized well-known", body(nil, attr(flagTransitive, 77, 1), nil), UpdateUnrecognizedWK},
+		{"nlri without mandatory attrs", body(nil, nil, nlri), UpdateMissingWK},
+		{"nlri bad prefix length", body(nil, mandatory(), []byte{0, 0, 0, 1, 25, 10, 0, 0}), UpdateInvalidNetwork},
+		{"nlri outside 10/8", body(nil, mandatory(), []byte{0, 0, 0, 1, 24, 11, 0, 0}), UpdateInvalidNetwork},
+		{"nlri truncated", body(nil, mandatory(), nlri[:6]), UpdateInvalidNetwork},
+		{"withdrawn truncated entry", body(nlri[:6], nil, nil), UpdateInvalidNetwork},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeUpdate(tc.body)
+			wantMessageErr(t, err, NotifUpdate, tc.subcode)
+		})
+	}
+}
+
+func TestUpdateUnknownOptionalAttrIgnored(t *testing.T) {
+	nlri := []byte{0, 0, 0, 1, 24, 10, 0, 2}
+	attrs := attr(flagTransitive, AttrOrigin, 0)
+	attrs = append(attrs, attr(flagTransitive, AttrASPath)...)
+	attrs = append(attrs, attr(flagTransitive, AttrNextHop, 0, 0, 7, 209)...)
+	attrs = append(attrs, attr(flagOptional, 77, 0xDE, 0xAD)...) // unknown optional
+	f, err := DecodeUpdate(body(nil, attrs, nlri))
+	if err != nil {
+		t.Fatalf("unknown optional attribute rejected: %v", err)
+	}
+	if len(f.Announced) != 1 || f.Announced[0].Prefix != 2 || f.Announced[0].NextHopID != 2001 {
+		t.Fatalf("decoded records: %+v", f.Announced)
+	}
+	if f.Announced[0].LocalPref != 100 {
+		t.Fatalf("LOCAL_PREF default = %d, want 100", f.Announced[0].LocalPref)
+	}
+}
+
+func TestUpdateMissingWKNamesAttribute(t *testing.T) {
+	nlri := []byte{0, 0, 0, 1, 24, 10, 0, 0}
+	_, err := DecodeUpdate(body(nil, attr(flagTransitive, AttrOrigin, 0), nlri))
+	me := wantMessageErr(t, err, NotifUpdate, UpdateMissingWK)
+	if len(me.Data) != 1 || me.Data[0] != AttrASPath {
+		t.Fatalf("Data = %v, want the missing attribute type %d", me.Data, AttrASPath)
+	}
+}

@@ -534,13 +534,23 @@ type Reader struct {
 func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
 
 // ReadMessage reads exactly one message, blocking as needed. It returns
-// io.EOF cleanly when the stream ends between messages.
+// io.EOF cleanly only when the stream ends between messages; a stream cut
+// anywhere inside a frame — even exactly on the header/body boundary — is
+// ErrTruncated, so callers never mistake a severed frame for a clean
+// close. The marker is validated before the declared length is trusted:
+// mid-stream garbage fails as ErrBadMarker instead of triggering a bogus
+// up-to-64KiB body read.
 func (r *Reader) ReadMessage() (Message, error) {
 	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
 		if errors.Is(err, io.ErrUnexpectedEOF) {
 			return nil, ErrTruncated
 		}
 		return nil, err
+	}
+	for i := range Marker {
+		if r.hdr[i] != Marker[i] {
+			return nil, ErrBadMarker
+		}
 	}
 	total := int(binary.BigEndian.Uint16(r.hdr[4:6]))
 	if total < headerSize {
@@ -552,7 +562,7 @@ func (r *Reader) ReadMessage() (Message, error) {
 	buf := r.buf[:total]
 	copy(buf, r.hdr[:])
 	if _, err := io.ReadFull(r.r, buf[headerSize:]); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) {
+		if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
 			return nil, ErrTruncated
 		}
 		return nil, err

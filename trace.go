@@ -35,3 +35,8 @@ func CountersLine(c OperationalCounters) string { return trace.CountersLine(c) }
 // FaultsLine renders the fault-injection counters of one run, or "" when
 // no fault fired.
 func FaultsLine(c OperationalCounters) string { return trace.FaultsLine(c) }
+
+// SessionLine renders the session-machinery counters of one run (peer
+// NOTIFICATIONs, bad frames, hold-timer expiries, RFC 4456 loop drops), or
+// "" when none fired.
+func SessionLine(c OperationalCounters) string { return trace.SessionLine(c) }
